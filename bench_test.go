@@ -1,0 +1,339 @@
+package lsl_test
+
+// One benchmark per data figure of the paper's evaluation (Figures 3-29),
+// plus ablation benchmarks for the design choices called out in DESIGN.md.
+// Each figure bench regenerates the figure's data series at a reduced
+// iteration count (cmd/lslbench reproduces them at full depth) and reports
+// the headline numbers as custom metrics, so `go test -bench=.` doubles as
+// the reproduction harness's smoke run.
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"lsl"
+)
+
+const benchSeed = 42
+
+// benchFigure regenerates figure id with the given iteration count and
+// reports summary metrics.
+func benchFigure(b *testing.B, id string, iters int) {
+	b.Helper()
+	spec, err := lsl.FigureByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var data lsl.FigureData
+	for i := 0; i < b.N; i++ {
+		data, err = lsl.RunFigure(spec, iters, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportFigure(b, data)
+}
+
+func reportFigure(b *testing.B, data lsl.FigureData) {
+	b.Helper()
+	switch data.Spec.Kind {
+	case "rtt":
+		for _, row := range data.Rows {
+			v, _ := strconv.ParseFloat(row[1], 64)
+			b.ReportMetric(v, metricName(row[0])+"_ms")
+		}
+	case "sweep":
+		// Report the largest size's throughputs and the mean improvement.
+		if n := len(data.Rows); n > 0 {
+			last := data.Rows[n-1]
+			d, _ := strconv.ParseFloat(last[1], 64)
+			l, _ := strconv.ParseFloat(last[3], 64)
+			b.ReportMetric(d, "direct_mbps")
+			b.ReportMetric(l, "lsl_mbps")
+			if d > 0 {
+				b.ReportMetric((l/d-1)*100, "improvement_pct")
+			}
+		}
+	case "seq":
+		for _, row := range data.Rows {
+			if len(row) >= 2 {
+				v, _ := strconv.ParseFloat(row[1], 64)
+				b.ReportMetric(v, metricName(row[0])+"_s")
+			}
+		}
+	}
+}
+
+func metricName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ' || r == '-':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// ---- RTT bar charts ----
+
+func BenchmarkFig03RTTCase1(b *testing.B) { benchFigure(b, "fig03", 2) }
+func BenchmarkFig04RTTCase2(b *testing.B) { benchFigure(b, "fig04", 2) }
+func BenchmarkFig09RTTCase3(b *testing.B) { benchFigure(b, "fig09", 2) }
+
+// ---- bandwidth sweeps ----
+
+func BenchmarkFig05SmallSweepCase1(b *testing.B) { benchFigure(b, "fig05", 3) }
+func BenchmarkFig06LargeSweepCase1(b *testing.B) { benchFigure(b, "fig06", 2) }
+func BenchmarkFig07SmallSweepCase2(b *testing.B) { benchFigure(b, "fig07", 3) }
+func BenchmarkFig08LargeSweepCase2(b *testing.B) { benchFigure(b, "fig08", 1) }
+func BenchmarkFig10WirelessSweep(b *testing.B)   { benchFigure(b, "fig10", 1) }
+func BenchmarkFig28OSULargeSweep(b *testing.B)   { benchFigure(b, "fig28", 1) }
+func BenchmarkFig29OSUSmallSweep(b *testing.B)   { benchFigure(b, "fig29", 3) }
+
+// ---- sequence-number growth traces ----
+
+func BenchmarkFig11SeqDirect64M(b *testing.B)     { benchFigure(b, "fig11", 3) }
+func BenchmarkFig12SeqSub164M(b *testing.B)       { benchFigure(b, "fig12", 3) }
+func BenchmarkFig13SeqSub264M(b *testing.B)       { benchFigure(b, "fig13", 3) }
+func BenchmarkFig14SeqAvg64M(b *testing.B)        { benchFigure(b, "fig14", 3) }
+func BenchmarkFig15Seq4MNoLoss(b *testing.B)      { benchFigure(b, "fig15", 5) }
+func BenchmarkFig16Seq4MMedianLoss(b *testing.B)  { benchFigure(b, "fig16", 5) }
+func BenchmarkFig17Seq4MMaxLoss(b *testing.B)     { benchFigure(b, "fig17", 5) }
+func BenchmarkFig18Seq4MAvg(b *testing.B)         { benchFigure(b, "fig18", 5) }
+func BenchmarkFig19Seq16MMinLoss(b *testing.B)    { benchFigure(b, "fig19", 3) }
+func BenchmarkFig20Seq16MMedianLoss(b *testing.B) { benchFigure(b, "fig20", 3) }
+func BenchmarkFig21Seq16MMaxLoss(b *testing.B)    { benchFigure(b, "fig21", 3) }
+func BenchmarkFig22Seq16MAvg(b *testing.B)        { benchFigure(b, "fig22", 3) }
+func BenchmarkFig23Seq64MMinLoss(b *testing.B)    { benchFigure(b, "fig23", 3) }
+func BenchmarkFig24Seq64MMedianLoss(b *testing.B) { benchFigure(b, "fig24", 3) }
+func BenchmarkFig25Seq64MMaxLoss(b *testing.B)    { benchFigure(b, "fig25", 3) }
+func BenchmarkFig26Seq32MCase2(b *testing.B)      { benchFigure(b, "fig26", 2) }
+func BenchmarkFig27SeqWireless(b *testing.B)      { benchFigure(b, "fig27", 1) }
+
+// ---- ablation benchmarks (design choices from DESIGN.md §5) ----
+
+// evenCascade builds a topology whose end-to-end path has the given total
+// one-way propagation delay and loss, split evenly into n hops.
+func evenCascade(seed int64, n int, totalOneWay lsl.SimTime, rate float64, lossTotal float64) (*lsl.SimEngine, []lsl.SimHop, *lsl.SimPath, *lsl.SimPath) {
+	e := lsl.NewSimEngine(seed)
+	cfg := lsl.DefaultTCPConfig()
+	cfg.InitialSSThresh = 128 << 10
+	perHopDelay := totalOneWay / lsl.SimTime(n)
+	perHopLoss := lossTotal / float64(n)
+	var hops []lsl.SimHop
+	var fwdLinks, revLinks []*lsl.SimLink
+	for i := 0; i < n; i++ {
+		f := lsl.NewSimLink(e, fmt.Sprintf("f%d", i), rate, perHopDelay, 4<<20, perHopLoss)
+		r := lsl.NewSimLink(e, fmt.Sprintf("r%d", i), 0, perHopDelay, 0, perHopLoss)
+		fwdLinks = append(fwdLinks, f)
+		revLinks = append(revLinks, r)
+		hops = append(hops, lsl.SimHop{
+			Fwd: lsl.NewSimPath(e, f), Rev: lsl.NewSimPath(e, r), TCP: cfg,
+		})
+	}
+	rev := make([]*lsl.SimLink, n)
+	for i := range revLinks {
+		rev[n-1-i] = revLinks[i]
+	}
+	return e, hops, lsl.NewSimPath(e, fwdLinks...), lsl.NewSimPath(e, rev...)
+}
+
+// BenchmarkAblationDepotBuffer varies the depot forwarding buffer: the
+// paper's claim is that small, short-lived buffers suffice.
+func BenchmarkAblationDepotBuffer(b *testing.B) {
+	for _, capBytes := range []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20} {
+		b.Run(fmt.Sprintf("cap=%dK", capBytes>>10), func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				e, hops, _, _ := evenCascade(benchSeed, 2, 30_000_000, 1e8, 4e-4)
+				sess := lsl.DefaultSessionConfig()
+				sess.Depot.BufferCap = capBytes
+				mbps = lsl.RunSimCascade(e, hops, sess, 16<<20).Mbps()
+			}
+			b.ReportMetric(mbps, "lsl_mbps")
+		})
+	}
+}
+
+// BenchmarkAblationDepotCount splits a fixed path into 1-4 hops.
+func BenchmarkAblationDepotCount(b *testing.B) {
+	for _, n := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("hops=%d", n), func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				e, hops, _, _ := evenCascade(benchSeed, n, 32_000_000, 1e8, 4e-4)
+				mbps = lsl.RunSimCascade(e, hops, lsl.DefaultSessionConfig(), 16<<20).Mbps()
+			}
+			b.ReportMetric(mbps, "lsl_mbps")
+		})
+	}
+}
+
+// BenchmarkAblationDepotPlacement varies where on the path the single
+// depot sits (fraction of the one-way delay before it).
+func BenchmarkAblationDepotPlacement(b *testing.B) {
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		b.Run(fmt.Sprintf("split=%.1f", frac), func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				e := lsl.NewSimEngine(benchSeed)
+				cfg := lsl.DefaultTCPConfig()
+				cfg.InitialSSThresh = 128 << 10
+				total := lsl.SimTime(32_000_000)
+				d1 := lsl.SimTime(float64(total) * frac)
+				d2 := total - d1
+				mk := func(name string, d lsl.SimTime) (*lsl.SimLink, *lsl.SimLink) {
+					return lsl.NewSimLink(e, name+".f", 1e8, d, 4<<20, 2e-4),
+						lsl.NewSimLink(e, name+".r", 0, d, 0, 2e-4)
+				}
+				f1, r1 := mk("a", d1)
+				f2, r2 := mk("b", d2)
+				hops := []lsl.SimHop{
+					{Fwd: lsl.NewSimPath(e, f1), Rev: lsl.NewSimPath(e, r1), TCP: cfg},
+					{Fwd: lsl.NewSimPath(e, f2), Rev: lsl.NewSimPath(e, r2), TCP: cfg},
+				}
+				mbps = lsl.RunSimCascade(e, hops, lsl.DefaultSessionConfig(), 16<<20).Mbps()
+			}
+			b.ReportMetric(mbps, "lsl_mbps")
+		})
+	}
+}
+
+// BenchmarkAblationTCPKnobs toggles delayed ACKs, initial window and SACK.
+func BenchmarkAblationTCPKnobs(b *testing.B) {
+	cases := []struct {
+		name string
+		mut  func(*lsl.TCPConfig)
+	}{
+		{"baseline", func(c *lsl.TCPConfig) {}},
+		{"no-delack", func(c *lsl.TCPConfig) { c.DelayedAcks = false }},
+		{"iw4", func(c *lsl.TCPConfig) { c.InitialCwndSegments = 4 }},
+		{"no-sack", func(c *lsl.TCPConfig) { c.DisableSACK = true }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				e, hops, _, _ := evenCascade(benchSeed, 2, 30_000_000, 1e8, 4e-4)
+				for j := range hops {
+					tc.mut(&hops[j].TCP)
+					hops[j].TCP.InitialSSThresh = 128 << 10
+				}
+				mbps = lsl.RunSimCascade(e, hops, lsl.DefaultSessionConfig(), 16<<20).Mbps()
+			}
+			b.ReportMetric(mbps, "lsl_mbps")
+		})
+	}
+}
+
+// BenchmarkAblationSmallBuffers reproduces the paper's §IV-A remark that
+// LSL's gains are more profound when end hosts have limited socket
+// buffers (lightweight mobile devices): direct TCP is window-starved by
+// the full-path BDP while each sublink only needs half.
+func BenchmarkAblationSmallBuffers(b *testing.B) {
+	for _, buf := range []int{64 << 10, 256 << 10, 8 << 20} {
+		b.Run(fmt.Sprintf("buf=%dK", buf>>10), func(b *testing.B) {
+			var direct, cascade float64
+			for i := 0; i < b.N; i++ {
+				e, hops, df, dr := evenCascade(benchSeed, 2, 30_000_000, 1e8, 0)
+				cfg := hops[0].TCP
+				cfg.SendBuf = buf
+				cfg.RecvBuf = buf
+				direct = lsl.RunSimDirect(e, df, dr, cfg, 16<<20).Mbps()
+				e2, hops2, _, _ := evenCascade(benchSeed, 2, 30_000_000, 1e8, 0)
+				for j := range hops2 {
+					hops2[j].TCP.SendBuf = buf
+					hops2[j].TCP.RecvBuf = buf
+				}
+				cascade = lsl.RunSimCascade(e2, hops2, lsl.DefaultSessionConfig(), 16<<20).Mbps()
+			}
+			b.ReportMetric(direct, "direct_mbps")
+			b.ReportMetric(cascade, "lsl_mbps")
+			if direct > 0 {
+				b.ReportMetric((cascade/direct-1)*100, "improvement_pct")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSetup compares confirmed (synchronous accept) and eager
+// session establishment on a small transfer.
+func BenchmarkAblationSetup(b *testing.B) {
+	for _, eager := range []bool{false, true} {
+		name := "confirmed"
+		if eager {
+			name = "eager"
+		}
+		b.Run(name, func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				e, hops, _, _ := evenCascade(benchSeed, 2, 30_000_000, 1e8, 0)
+				sess := lsl.DefaultSessionConfig()
+				sess.ConfirmedSetup = !eager
+				mbps = lsl.RunSimCascade(e, hops, sess, 256<<10).Mbps()
+			}
+			b.ReportMetric(mbps, "lsl_mbps")
+		})
+	}
+}
+
+// ---- microbenchmarks of the real stack ----
+
+// BenchmarkSimulatorEventRate measures raw simulated-transfer throughput
+// (events are the simulator's unit of work).
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, hops, _, _ := evenCascade(int64(i), 2, 10_000_000, 1e8, 1e-4)
+		lsl.RunSimCascade(e, hops, lsl.DefaultSessionConfig(), 4<<20)
+	}
+}
+
+// BenchmarkExtensionParallelStreams compares the PSockets-style baseline
+// (N parallel end-to-end connections, paper citation [22]) against the LSL
+// cascade on a Case-1-like path: parallelism divides the loss penalty,
+// cascading divides the RTT.
+func BenchmarkExtensionParallelStreams(b *testing.B) {
+	type variant struct {
+		name string
+		run  func(seed int64) float64
+	}
+	variants := []variant{
+		{"direct-1", func(seed int64) float64 {
+			e, _, df, dr := evenCascade(seed, 2, 30_000_000, 1e8, 4e-4)
+			return lsl.RunSimDirect(e, df, dr, lsl.DefaultTCPConfig(), 32<<20).Mbps()
+		}},
+		{"psockets-4", func(seed int64) float64 {
+			e, _, df, dr := evenCascade(seed, 2, 30_000_000, 1e8, 4e-4)
+			return lsl.RunSimParallel(e, df, dr, lsl.DefaultTCPConfig(), 4, 32<<20).Mbps()
+		}},
+		{"lsl-cascade", func(seed int64) float64 {
+			e, hops, _, _ := evenCascade(seed, 2, 30_000_000, 1e8, 4e-4)
+			return lsl.RunSimCascade(e, hops, lsl.DefaultSessionConfig(), 32<<20).Mbps()
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				mbps = v.run(benchSeed)
+			}
+			b.ReportMetric(mbps, "mbps")
+		})
+	}
+}
+
+// BenchmarkHeadline measures the abstract's aggregate claim at reduced
+// depth (cmd/lslbench -headline runs it at full depth).
+func BenchmarkHeadline(b *testing.B) {
+	var res lsl.HeadlineResult
+	for i := 0; i < b.N; i++ {
+		res = lsl.RunHeadline(1, benchSeed)
+	}
+	b.ReportMetric(res.Avg*100, "avg_improvement_pct")
+	b.ReportMetric(res.Max*100, "max_improvement_pct")
+}

@@ -1,0 +1,57 @@
+// Command lsd is the Logistical Session Layer depot daemon: an
+// unprivileged user-level forwarding process (paper §IV-A). It accepts
+// LSL session-open headers, dials the next hop of each session's loose
+// source route, and relays bytes in both directions through a small
+// bounded buffer.
+//
+// Usage:
+//
+//	lsd -listen :5000 [-buffer 262144] [-max-sessions 256] [-v]
+//	lsd -listen :5000 -stats 10s     # print counters periodically
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"lsl"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":5000", "address to accept LSL sessions on")
+		buffer      = flag.Int("buffer", 256<<10, "per-direction relay buffer in bytes")
+		maxSessions = flag.Int("max-sessions", 256, "concurrent session admission limit")
+		statsEvery  = flag.Duration("stats", 0, "print counters at this interval (0 = off)")
+		verbose     = flag.Bool("v", false, "log each session")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "lsd ", log.LstdFlags)
+	cfg := lsl.DepotConfig{
+		BufferSize:  *buffer,
+		MaxSessions: *maxSessions,
+	}
+	if *verbose {
+		cfg.Logf = logger.Printf
+	}
+	d := lsl.NewDepot(cfg)
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				s := d.Stats()
+				logger.Printf("sessions: active=%d accepted=%d completed=%d rejected(busy=%d route=%d proto=%d) bytes(fwd=%d back=%d)",
+					s.Active, s.Accepted, s.Completed, s.RejectedBusy, s.RejectedRoute, s.RejectedProto,
+					s.BytesForward, s.BytesBackward)
+			}
+		}()
+	}
+
+	logger.Printf("depot listening on %s (buffer=%d, max-sessions=%d)", *listen, *buffer, *maxSessions)
+	if err := d.ListenAndServe(*listen); err != nil {
+		logger.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,116 @@
+// Command lslbench regenerates the data behind every figure of the
+// paper's evaluation (Figures 3-29) on the deterministic simulator.
+//
+//	lslbench -fig 6               # one figure
+//	lslbench -all                 # every figure
+//	lslbench -fig 14 -plot        # include an ASCII rendering of the curves
+//	lslbench -fig 28 -iters 120   # the paper's full iteration count
+//	lslbench -list                # what exists
+//
+// Output is a table per figure with the same rows/series the paper plots;
+// absolute values come from the calibrated simulator (see DESIGN.md §4),
+// so shapes and ratios — not raw Abilene numbers — are the comparison
+// target (EXPERIMENTS.md records both).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"lsl"
+	"lsl/internal/trace"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "figure to regenerate (e.g. 6, fig06)")
+		all      = flag.Bool("all", false, "regenerate every figure")
+		list     = flag.Bool("list", false, "list figures and exit")
+		headline = flag.Bool("headline", false, "measure the abstract's aggregate claim (avg ~40%, max 75%)")
+		iters    = flag.Int("iters", 0, "iterations per configuration (0 = per-figure default)")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		plot     = flag.Bool("plot", false, "render curve figures as ASCII plots")
+		outDir   = flag.String("out", "", "also write each figure's data as TSV into this directory")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		listFigures()
+	case *headline:
+		it := *iters
+		if it <= 0 {
+			it = 5
+		}
+		res := lsl.RunHeadline(it, *seed)
+		res.WriteTo(os.Stdout)
+	case *all:
+		for _, spec := range lsl.AllFigures() {
+			run(spec, *iters, *seed, *plot, *outDir)
+		}
+	case *fig != "":
+		spec, err := lsl.FigureByID(normalize(*fig))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		run(spec, *iters, *seed, *plot, *outDir)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func normalize(s string) string {
+	s = strings.TrimPrefix(strings.ToLower(s), "figure")
+	return strings.TrimSpace(s)
+}
+
+func listFigures() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "ID\tSCENARIO\tKIND\tTITLE")
+	for _, f := range lsl.AllFigures() {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", f.ID, f.Scenario, f.Kind, f.Title)
+	}
+	w.Flush()
+}
+
+func run(spec lsl.FigureSpec, iters int, seed int64, plot bool, outDir string) {
+	fmt.Printf("== %s: %s [%s/%s] ==\n", spec.ID, spec.Title, spec.Scenario, spec.Kind)
+	fmt.Printf("   paper: %s\n", spec.Expect)
+	data, err := lsl.RunFigure(spec, iters, seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", spec.ID, err)
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "   "+strings.Join(data.Header, "\t"))
+	for _, row := range data.Rows {
+		fmt.Fprintln(w, "   "+strings.Join(row, "\t"))
+	}
+	w.Flush()
+	if plot && len(data.Series) > 0 {
+		fmt.Println(trace.PlotASCII(spec.ID, 72, 18, data.Series))
+	}
+	if outDir != "" {
+		if err := writeTSV(outDir, data); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", spec.ID, err)
+		}
+	}
+	fmt.Println()
+}
+
+func writeTSV(dir string, data lsl.FigureData) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(dir + "/" + data.Spec.ID + ".tsv")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return data.WriteTSV(f)
+}

@@ -1,0 +1,168 @@
+// Command lslcat is netcat for the Logistical Session Layer.
+//
+// Receive (session target):
+//
+//	lslcat -listen :7000 > received.bin
+//
+// Send stdin through a cascade of depots with end-to-end MD5 verification
+// (digest requires -size, or use -file which infers it):
+//
+//	lslcat -route depot1:5000,depot2:5000 -target server:7000 -file big.iso
+//	head -c 10M /dev/urandom | lslcat -target server:7000 -size 10485760
+//
+// Benchmark mode sends synthetic data and prints the achieved throughput:
+//
+//	lslcat -route depot:5000 -target server:7000 -bench 64M
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"lsl"
+	"lsl/internal/sizeparse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lslcat: ")
+	var (
+		listen = flag.String("listen", "", "accept sessions on this address and copy payload to stdout")
+		routeS = flag.String("route", "", "comma-separated depot addresses (loose source route)")
+		target = flag.String("target", "", "final destination address")
+		file   = flag.String("file", "", "send this file (enables digest, sets size)")
+		sizeS  = flag.String("size", "", "payload size in bytes when sending from stdin")
+		benchS = flag.String("bench", "", "send this much synthetic data (e.g. 64M) and report throughput")
+		eager  = flag.Bool("eager", false, "stream without waiting for the end-to-end accept")
+		noDig  = flag.Bool("no-digest", false, "disable the end-to-end MD5 trailer")
+		quiet  = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	switch {
+	case *listen != "":
+		runTarget(*listen, *quiet)
+	case *target != "":
+		runSender(*routeS, *target, *file, *sizeS, *benchS, *eager, *noDig, *quiet)
+	default:
+		log.Fatal("need -listen (receive) or -target (send); see -h")
+	}
+}
+
+func runTarget(addr string, quiet bool) {
+	ln, err := lsl.Listen(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !quiet {
+		log.Printf("listening on %s", ln.Addr())
+	}
+	for {
+		sc, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			defer sc.Close()
+			start := time.Now()
+			n, err := io.Copy(os.Stdout, sc)
+			el := time.Since(start)
+			switch {
+			case err != nil:
+				log.Printf("session %s failed after %d bytes: %v", sc.SessionID(), n, err)
+			case !quiet:
+				verified := ""
+				if sc.Digesting() && sc.Verified() {
+					verified = " (MD5 verified)"
+				}
+				log.Printf("session %s: %d bytes in %v = %.2f Mbit/s%s",
+					sc.SessionID(), n, el.Round(time.Millisecond),
+					float64(n)*8/el.Seconds()/1e6, verified)
+			}
+		}()
+	}
+}
+
+func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest, quiet bool) {
+	route := lsl.Route{Target: target}
+	if routeS != "" {
+		route.Via = strings.Split(routeS, ",")
+	}
+
+	var src io.Reader
+	var size int64 = -1
+	switch {
+	case benchS != "":
+		n, err := sizeparse.Parse(benchS)
+		if err != nil {
+			log.Fatalf("bad -bench: %v", err)
+		}
+		size = n
+		src = io.LimitReader(rand.New(rand.NewSource(1)), n)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		st, err := f.Stat()
+		if err != nil {
+			log.Fatal(err)
+		}
+		size = st.Size()
+		src = f
+	default:
+		src = os.Stdin
+		if sizeS != "" {
+			n, err := sizeparse.Parse(sizeS)
+			if err != nil {
+				log.Fatalf("bad -size: %v", err)
+			}
+			size = n
+		}
+	}
+
+	opts := []lsl.Option{}
+	if size >= 0 {
+		opts = append(opts, lsl.WithContentLength(size))
+		if !noDigest {
+			opts = append(opts, lsl.WithDigest())
+		}
+	} else if !noDigest && !quiet {
+		log.Printf("note: unknown size, digest disabled (use -size or -file)")
+	}
+	if eager {
+		opts = append(opts, lsl.WithEager())
+	}
+
+	start := time.Now()
+	c, err := lsl.Dial(context.Background(), route, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	setup := time.Since(start)
+
+	n, err := io.Copy(c, src)
+	if err != nil {
+		log.Fatalf("send: %v", err)
+	}
+	if err := c.CloseWrite(); err != nil {
+		log.Fatal(err)
+	}
+	el := time.Since(start)
+	if !quiet {
+		hops := len(route.Via)
+		fmt.Fprintf(os.Stderr,
+			"lslcat: session %s: %d bytes via %d depot(s) in %v (setup %v) = %.2f Mbit/s\n",
+			c.SessionID(), n, hops, el.Round(time.Millisecond), setup.Round(time.Millisecond),
+			float64(n)*8/el.Seconds()/1e6)
+	}
+}

@@ -1,0 +1,91 @@
+// Command lslplan demonstrates the logistics decision: given a depot
+// overlay graph with measured link performance, rank candidate session
+// routes for a transfer by predicted completion time.
+//
+// The graph is described one edge per line on stdin or in -graph FILE:
+//
+//	# node lines:   node NAME [depot] [addr HOST:PORT]
+//	# edge lines:   edge A B rtt_ms bandwidth_mbps loss
+//	node ucsb addr ucsb.example:7000
+//	node denver depot addr denver.example:5000
+//	node uiuc addr uiuc.example:7000
+//	edge ucsb denver 31 100 0.00025
+//	edge denver uiuc 35 100 0.00025
+//
+//	lslplan -graph overlay.txt -src ucsb -dst uiuc -size 64M
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"lsl"
+	"lsl/internal/overlay"
+	"lsl/internal/sizeparse"
+)
+
+func main() {
+	var (
+		graphFile = flag.String("graph", "-", "overlay description file (- = stdin)")
+		src       = flag.String("src", "", "source node")
+		dst       = flag.String("dst", "", "destination node")
+		sizeS     = flag.String("size", "64M", "transfer size")
+	)
+	flag.Parse()
+	if *src == "" || *dst == "" {
+		fmt.Fprintln(os.Stderr, "lslplan: need -src and -dst")
+		os.Exit(2)
+	}
+	size, err := sizeparse.Parse(*sizeS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lslplan: bad -size: %v\n", err)
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if *graphFile != "-" {
+		f, err := os.Open(*graphFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lslplan:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := overlay.Parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lslplan:", err)
+		os.Exit(1)
+	}
+
+	plans, err := g.RankCandidates(lsl.NodeID(*src), lsl.NodeID(*dst), size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lslplan:", err)
+		os.Exit(1)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "RANK\tROUTE\tPREDICTED\tVS DIRECT")
+	for i, p := range plans {
+		hops := make([]string, len(p.Hops))
+		for j, h := range p.Hops {
+			hops[j] = string(h)
+		}
+		fmt.Fprintf(w, "%d\t%s\t%.2fs\t%+.0f%%\n",
+			i+1, strings.Join(hops, " -> "), p.PredictedSeconds, p.Improvement()*100)
+	}
+	w.Flush()
+
+	best := plans[0]
+	if best.UsesDepots() {
+		if via, target, err := best.Addrs(g); err == nil {
+			fmt.Printf("\nexecute: lslcat -route %s -target %s -bench %s\n",
+				strings.Join(via, ","), target, *sizeS)
+		}
+	} else {
+		fmt.Println("\nverdict: direct TCP predicted fastest; LSL not engaged for this transfer")
+	}
+}

@@ -1,0 +1,45 @@
+// Gridtransfer reproduces the paper's motivating Grid scenario on the
+// simulator: bulk data movement between two computational sites (UCSB and
+// UIUC) over a lossy wide-area path, comparing direct TCP with an LSL
+// cascade through a depot at the Denver POP — Figures 5 and 6 in miniature.
+//
+//	go run ./examples/gridtransfer
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"lsl"
+)
+
+func main() {
+	scen := lsl.Scenarios()["case1"]
+	fmt.Printf("scenario: %s\n", scen.Label)
+	fmt.Println("workload: staging simulation input/output files of increasing size")
+	fmt.Println()
+
+	spec, err := lsl.FigureByID("fig06")
+	if err != nil {
+		panic(err)
+	}
+	spec.Sizes = []int64{256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
+	data, err := lsl.RunFigure(spec, 3, 2026)
+	if err != nil {
+		panic(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "FILE SIZE\tDIRECT TCP\tLSL (via Denver depot)\tGAIN")
+	for _, row := range data.Rows {
+		fmt.Fprintf(w, "%s\t%s Mbit/s\t%s Mbit/s\t%s\n", row[0], row[1], row[3], row[5])
+	}
+	w.Flush()
+
+	fmt.Println()
+	fmt.Println("reading: small files pay LSL's dual connection setup; once the")
+	fmt.Println("transfer outlives slow start, per-sublink congestion control")
+	fmt.Println("(half the RTT -> twice the window growth and loss-recovery rate)")
+	fmt.Println("sustains the advantage — the paper's ~40-60% Grid-case gain.")
+}

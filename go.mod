@@ -1,0 +1,3 @@
+module lsl
+
+go 1.22

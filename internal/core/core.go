@@ -1,0 +1,336 @@
+// Package core implements the Logistical Session Layer endpoints over real
+// TCP: Dial opens a session across a loose source route of depots, Listen
+// accepts sessions at the target. The interface deliberately mirrors the
+// socket idiom the paper describes ("a similar programming interface to
+// that provided by the Unix socket abstraction"): a session behaves like a
+// net.Conn, but the conversation may be carried by multiple cascaded
+// transport connections and survives their replacement (resume).
+//
+// Protocol flow (synchronous mode):
+//
+//	initiator            depot(s)                target
+//	   |--- TCP connect --->|                        |
+//	   |--- OpenHeader ---->|--- TCP connect ------->|
+//	   |                    |--- OpenHeader(hop+1)-->|
+//	   |<-- AcceptFrame ----|<-- AcceptFrame --------|
+//	   |=== payload ======> |=== payload ==========> |
+//	   |--- MD5 trailer --->|----------------------->| verify
+//
+// Everything rides ordinary TCP streams; depots relay bytes in both
+// directions, so the accept frame and any application replies flow
+// backward through the same cascade.
+package core
+
+import (
+	"context"
+	"crypto/md5"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"net"
+	"time"
+
+	"lsl/internal/wire"
+)
+
+// Errors surfaced by the session layer.
+var (
+	ErrRejected       = errors.New("lsl: session rejected")
+	ErrDigestMismatch = errors.New("lsl: end-to-end MD5 digest mismatch")
+	ErrClosedWrite    = errors.New("lsl: write after CloseWrite")
+	ErrNeedLength     = errors.New("lsl: digest requires a known content length")
+)
+
+// Route is a loose source route: the depots to traverse, in order, then
+// the final target.
+type Route struct {
+	Via    []string
+	Target string
+}
+
+// Hops returns the full hop list including the target.
+func (r Route) Hops() []string {
+	out := make([]string, 0, len(r.Via)+1)
+	out = append(out, r.Via...)
+	out = append(out, r.Target)
+	return out
+}
+
+// Validate checks the route against protocol limits.
+func (r Route) Validate() error {
+	if r.Target == "" {
+		return fmt.Errorf("lsl: route has no target")
+	}
+	h := &wire.OpenHeader{Route: r.Hops()}
+	return h.Validate()
+}
+
+// Dialer matches net.Dialer.DialContext, injectable for tests and for the
+// WAN emulator.
+type Dialer func(ctx context.Context, network, addr string) (net.Conn, error)
+
+// Options tune a session.
+type Options struct {
+	// Digest enables the end-to-end MD5 trailer. Requires ContentLength.
+	Digest bool
+	// ContentLength declares the payload size; <0 means unknown (stream).
+	ContentLength int64
+	// Eager streams payload without waiting for the end-to-end accept
+	// (the cascade absorbs data while the tail is still dialing).
+	Eager bool
+	// Session forces a session ID (used with Resume); zero means random.
+	Session wire.SessionID
+	// Resume asks the target to report its received offset; the caller
+	// continues from there (see Conn.Offset and SendReader).
+	Resume bool
+	// Staged asks the first depot to take custody of the payload and
+	// deliver it asynchronously (the receiver need not be reachable while
+	// the initiator uploads). Requires ContentLength and at least one
+	// depot in the route.
+	Staged bool
+	// HandshakeTimeout bounds header/accept exchanges (default 15s).
+	HandshakeTimeout time.Duration
+	// Dial overrides the transport dialer.
+	Dial Dialer
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithDigest enables end-to-end MD5 verification.
+func WithDigest() Option { return func(o *Options) { o.Digest = true } }
+
+// WithContentLength declares the payload size in bytes.
+func WithContentLength(n int64) Option { return func(o *Options) { o.ContentLength = n } }
+
+// WithEager disables the synchronous end-to-end accept wait.
+func WithEager() Option { return func(o *Options) { o.Eager = true } }
+
+// WithSession pins the session identifier (for resumption).
+func WithSession(id wire.SessionID) Option { return func(o *Options) { o.Session = id } }
+
+// WithResume marks the session as a resumption of an earlier one.
+func WithResume() Option { return func(o *Options) { o.Resume = true } }
+
+// WithStaged requests depot custody: the first depot accepts the session,
+// stores the complete upload, and delivers it onward asynchronously.
+func WithStaged() Option { return func(o *Options) { o.Staged = true } }
+
+// WithHandshakeTimeout bounds the session handshake.
+func WithHandshakeTimeout(d time.Duration) Option {
+	return func(o *Options) { o.HandshakeTimeout = d }
+}
+
+// WithDialer injects a transport dialer (tests, emulation).
+func WithDialer(d Dialer) Option { return func(o *Options) { o.Dial = d } }
+
+func buildOptions(opts []Option) Options {
+	o := Options{ContentLength: -1, HandshakeTimeout: 15 * time.Second}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// closeWriter is implemented by *net.TCPConn and by the emulator's conns.
+type closeWriter interface{ CloseWrite() error }
+
+// Conn is the initiator's end of a session.
+type Conn struct {
+	nc   net.Conn
+	id   wire.SessionID
+	opts Options
+
+	hash        hash.Hash
+	written     int64
+	startOffset int64
+	wclosed     bool
+}
+
+// Dial opens a session along route. With Options.Eager unset it blocks
+// until the end-to-end accept returns through the cascade.
+func Dial(ctx context.Context, route Route, opts ...Option) (*Conn, error) {
+	o := buildOptions(opts)
+	if err := route.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Digest && o.ContentLength < 0 {
+		return nil, ErrNeedLength
+	}
+	if o.Staged {
+		if o.ContentLength < 0 {
+			return nil, ErrNeedLength
+		}
+		if len(route.Via) == 0 {
+			return nil, fmt.Errorf("lsl: staged sessions need at least one depot")
+		}
+	}
+	dial := o.Dial
+	if dial == nil {
+		var d net.Dialer
+		dial = d.DialContext
+	}
+	hops := route.Hops()
+	nc, err := dial(ctx, "tcp", hops[0])
+	if err != nil {
+		return nil, fmt.Errorf("lsl: dial first hop %s: %w", hops[0], err)
+	}
+	id := o.Session
+	if id == (wire.SessionID{}) {
+		id = wire.NewSessionID()
+	}
+	var flags uint16
+	if o.Digest {
+		flags |= wire.FlagDigest
+	}
+	if o.Resume {
+		flags |= wire.FlagResume
+	}
+	if o.Eager {
+		flags |= wire.FlagEager
+	}
+	if o.Staged {
+		flags |= wire.FlagStaged
+	}
+	contentLen := wire.UnknownLength
+	if o.ContentLength >= 0 {
+		contentLen = uint64(o.ContentLength)
+	}
+	hdr := &wire.OpenHeader{
+		Flags:      flags,
+		Session:    id,
+		HopIndex:   0,
+		Route:      hops,
+		ContentLen: contentLen,
+	}
+	enc, err := hdr.Encode()
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	deadline := time.Now().Add(o.HandshakeTimeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	nc.SetDeadline(deadline)
+	if _, err := nc.Write(enc); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("lsl: send header: %w", err)
+	}
+	c := &Conn{nc: nc, id: id, opts: o}
+	if o.Digest {
+		c.hash = md5.New()
+	}
+	if !o.Eager {
+		acc, err := wire.ReadAcceptFrame(nc)
+		if err != nil {
+			nc.Close()
+			return nil, fmt.Errorf("lsl: waiting for session accept: %w", err)
+		}
+		if acc.Session != id {
+			nc.Close()
+			return nil, fmt.Errorf("lsl: accept for wrong session %s", acc.Session)
+		}
+		if acc.Code != wire.CodeOK {
+			nc.Close()
+			return nil, fmt.Errorf("%w: %s", ErrRejected, wire.CodeString(acc.Code))
+		}
+		c.startOffset = int64(acc.Offset)
+	}
+	nc.SetDeadline(time.Time{})
+	return c, nil
+}
+
+// SessionID returns the 128-bit session identifier.
+func (c *Conn) SessionID() wire.SessionID { return c.id }
+
+// Offset returns the target's already-received byte count reported in the
+// accept (non-zero only for resumed sessions).
+func (c *Conn) Offset() int64 { return c.startOffset }
+
+// Write sends payload bytes toward the target.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.wclosed {
+		return 0, ErrClosedWrite
+	}
+	n, err := c.nc.Write(p)
+	if n > 0 {
+		if c.hash != nil {
+			c.hash.Write(p[:n])
+		}
+		c.written += int64(n)
+	}
+	return n, err
+}
+
+// Read receives backward-channel bytes from the target.
+func (c *Conn) Read(p []byte) (int, error) { return c.nc.Read(p) }
+
+// CloseWrite finishes the forward stream: it appends the MD5 trailer when
+// digesting and half-closes the transport so EOF propagates through the
+// cascade.
+func (c *Conn) CloseWrite() error {
+	if c.wclosed {
+		return nil
+	}
+	c.wclosed = true
+	if c.hash != nil {
+		if _, err := c.nc.Write(c.hash.Sum(nil)); err != nil {
+			return fmt.Errorf("lsl: send digest trailer: %w", err)
+		}
+	}
+	if cw, ok := c.nc.(closeWriter); ok {
+		return cw.CloseWrite()
+	}
+	return nil
+}
+
+// Close tears the session's first sublink down.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// LocalAddr implements net.Conn-style addressing.
+func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
+
+// RemoteAddr returns the first hop's address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// SetDeadline applies to the underlying first sublink.
+func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// SendReader streams size bytes from r (which must match the session's
+// ContentLength when digesting), honoring a resume offset: it seeks to the
+// target's confirmed offset and, when digesting, re-hashes the skipped
+// prefix so the end-to-end digest still covers the complete stream. It
+// finishes with CloseWrite.
+func (c *Conn) SendReader(r io.ReadSeeker) error {
+	if c.startOffset > 0 {
+		if c.hash != nil {
+			if _, err := r.Seek(0, io.SeekStart); err != nil {
+				return err
+			}
+			if _, err := io.CopyN(c.hash, r, c.startOffset); err != nil {
+				return fmt.Errorf("lsl: rehash resumed prefix: %w", err)
+			}
+			c.written = c.startOffset
+		} else if _, err := r.Seek(c.startOffset, io.SeekStart); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 256<<10)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			if _, werr := c.Write(buf[:n]); werr != nil {
+				return werr
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return c.CloseWrite()
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"crypto/md5"
+	"crypto/subtle"
+	"fmt"
+	"hash"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"lsl/internal/wire"
+)
+
+// sessionState is the target-side per-session record that makes resumption
+// work: how many payload bytes have arrived so far and the running digest
+// over them. It survives the transport connection that carried them.
+type sessionState struct {
+	received int64
+	hash     hash.Hash
+	updated  time.Time
+}
+
+// Listener accepts LSL sessions at a session target.
+type Listener struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	sessions map[wire.SessionID]*sessionState
+
+	// HandshakeTimeout bounds the header read per connection (default 15s).
+	HandshakeTimeout time.Duration
+	// MaxSessions bounds the resume table.
+	MaxSessions int
+}
+
+// Listen starts an LSL target listener on addr.
+func Listen(addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewListener(ln), nil
+}
+
+// NewListener wraps an existing net.Listener (tests, emulation).
+func NewListener(ln net.Listener) *Listener {
+	return &Listener{
+		ln:               ln,
+		sessions:         make(map[wire.SessionID]*sessionState),
+		HandshakeTimeout: 15 * time.Second,
+		MaxSessions:      1024,
+	}
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Close stops accepting.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// Accept blocks for the next valid session. Transport connections whose
+// headers are malformed or mis-routed are rejected and skipped.
+func (l *Listener) Accept() (*ServerConn, error) {
+	for {
+		nc, err := l.ln.Accept()
+		if err != nil {
+			return nil, err
+		}
+		sc, err := l.handshake(nc)
+		if err != nil {
+			nc.Close()
+			continue // a bad client must not kill the accept loop
+		}
+		return sc, nil
+	}
+}
+
+func (l *Listener) handshake(nc net.Conn) (*ServerConn, error) {
+	nc.SetDeadline(time.Now().Add(l.HandshakeTimeout))
+	hdr, err := wire.ReadOpenHeader(nc)
+	if err != nil {
+		return nil, err
+	}
+	if !hdr.Final() {
+		// We are a target, not a depot: refuse to forward.
+		nc.Write((&wire.AcceptFrame{Code: wire.CodeRejectRoute, Session: hdr.Session}).Encode())
+		return nil, fmt.Errorf("lsl: non-final header at target (hop %d of %d)", hdr.HopIndex, len(hdr.Route))
+	}
+
+	st := l.sessionFor(hdr)
+	acc := &wire.AcceptFrame{Code: wire.CodeOK, Session: hdr.Session, Offset: uint64(st.received)}
+	if _, err := nc.Write(acc.Encode()); err != nil {
+		return nil, err
+	}
+	nc.SetDeadline(time.Time{})
+
+	sc := &ServerConn{nc: nc, hdr: hdr, l: l, st: st}
+	if hdr.Flags&wire.FlagDigest != 0 {
+		if hdr.ContentLen == wire.UnknownLength {
+			return nil, ErrNeedLength
+		}
+		sc.remaining = int64(hdr.ContentLen) - st.received
+	} else {
+		sc.remaining = -1
+	}
+	return sc, nil
+}
+
+// sessionFor finds or creates the resumable state for a header.
+func (l *Listener) sessionFor(hdr *wire.OpenHeader) *sessionState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if st, ok := l.sessions[hdr.Session]; ok && hdr.Flags&wire.FlagResume != 0 {
+		st.updated = time.Now()
+		return st
+	}
+	st := &sessionState{updated: time.Now()}
+	if hdr.Flags&wire.FlagDigest != 0 {
+		st.hash = md5.New()
+	}
+	if len(l.sessions) >= l.MaxSessions {
+		// Evict the stalest entry to bound memory.
+		var oldest wire.SessionID
+		var when time.Time
+		first := true
+		for id, s := range l.sessions {
+			if first || s.updated.Before(when) {
+				oldest, when, first = id, s.updated, false
+			}
+		}
+		delete(l.sessions, oldest)
+	}
+	l.sessions[hdr.Session] = st
+	return st
+}
+
+func (l *Listener) dropSession(id wire.SessionID) {
+	l.mu.Lock()
+	delete(l.sessions, id)
+	l.mu.Unlock()
+}
+
+// ServerConn is the target's end of one session sublink.
+type ServerConn struct {
+	nc  net.Conn
+	hdr *wire.OpenHeader
+	l   *Listener
+	st  *sessionState
+
+	remaining int64 // payload bytes left before the trailer; -1 = no digest
+	verified  bool
+	failed    error
+}
+
+// SessionID returns the session identifier.
+func (s *ServerConn) SessionID() wire.SessionID { return s.hdr.Session }
+
+// Route returns the loose source route the initiator specified.
+func (s *ServerConn) Route() []string { return s.hdr.Route }
+
+// ContentLength returns the declared payload size, or -1 when unknown.
+func (s *ServerConn) ContentLength() int64 {
+	if s.hdr.ContentLen == wire.UnknownLength {
+		return -1
+	}
+	return int64(s.hdr.ContentLen)
+}
+
+// Received returns the total payload bytes received across the session's
+// lifetime (including earlier sublinks of a resumed session).
+func (s *ServerConn) Received() int64 {
+	s.l.mu.Lock()
+	defer s.l.mu.Unlock()
+	return s.st.received
+}
+
+// Digesting reports whether end-to-end MD5 verification is active.
+func (s *ServerConn) Digesting() bool { return s.remaining >= 0 }
+
+// Read returns payload bytes. With digesting active it stops at the
+// declared content length, consumes and verifies the MD5 trailer, and then
+// returns io.EOF on success or ErrDigestMismatch on corruption.
+func (s *ServerConn) Read(p []byte) (int, error) {
+	if s.failed != nil {
+		return 0, s.failed
+	}
+	if s.remaining == 0 {
+		if err := s.finishDigest(); err != nil {
+			return 0, err
+		}
+		return 0, io.EOF
+	}
+	if s.remaining > 0 && int64(len(p)) > s.remaining {
+		p = p[:s.remaining]
+	}
+	n, err := s.nc.Read(p)
+	if n > 0 {
+		if s.st.hash != nil {
+			s.st.hash.Write(p[:n])
+		}
+		s.l.mu.Lock()
+		s.st.received += int64(n)
+		s.st.updated = time.Now()
+		s.l.mu.Unlock()
+		if s.remaining > 0 {
+			s.remaining -= int64(n)
+		}
+	}
+	if err == io.EOF && s.remaining > 0 {
+		return n, fmt.Errorf("lsl: stream truncated %d bytes early", s.remaining)
+	}
+	if err == io.EOF && s.remaining < 0 {
+		// Unverified stream completed; forget the session.
+		s.l.dropSession(s.hdr.Session)
+	}
+	if err == nil && s.remaining == 0 {
+		if derr := s.finishDigest(); derr != nil {
+			return n, derr
+		}
+		return n, nil
+	}
+	return n, err
+}
+
+func (s *ServerConn) finishDigest() error {
+	if s.verified || s.st.hash == nil {
+		return nil
+	}
+	trailer := make([]byte, wire.DigestLen)
+	if _, err := io.ReadFull(s.nc, trailer); err != nil {
+		s.failed = fmt.Errorf("lsl: reading digest trailer: %w", err)
+		return s.failed
+	}
+	sum := s.st.hash.Sum(nil)
+	if subtle.ConstantTimeCompare(sum, trailer) != 1 {
+		s.failed = ErrDigestMismatch
+		return s.failed
+	}
+	s.verified = true
+	s.l.dropSession(s.hdr.Session)
+	return nil
+}
+
+// Verified reports whether the digest trailer matched (only meaningful
+// after Read returned io.EOF with digesting enabled).
+func (s *ServerConn) Verified() bool { return s.verified }
+
+// Write sends backward-channel bytes toward the initiator.
+func (s *ServerConn) Write(p []byte) (int, error) { return s.nc.Write(p) }
+
+// Close tears the sublink down. Session state is retained for resumption
+// unless the stream completed.
+func (s *ServerConn) Close() error { return s.nc.Close() }
+
+// RemoteAddr returns the upstream hop's address.
+func (s *ServerConn) RemoteAddr() net.Addr { return s.nc.RemoteAddr() }

@@ -1,0 +1,320 @@
+// Package depot implements lsd, the LSL depot daemon: an unprivileged
+// user-level process that accepts session-open headers, dials the next hop
+// of the loose source route, and then relays bytes in both directions
+// between the two transport connections through a small bounded buffer —
+// the "transport to transport binding based on the LSL header information"
+// of the paper's §IV-A.
+//
+// The forward direction carries session payload; the backward direction
+// carries the session-accept frame and any application replies, so the
+// depot itself needs no knowledge of the session state machine beyond the
+// open header. Admission control (the paper's §VII scalability note) caps
+// concurrent sessions and rejects the excess with a busy code rather than
+// degrading every flow.
+package depot
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lsl/internal/core"
+	"lsl/internal/wire"
+)
+
+// Config tunes a depot.
+type Config struct {
+	// BufferSize is the per-direction relay buffer (default 256 KiB) — the
+	// paper's "small, short-lived" intermediate allocation.
+	BufferSize int
+	// MaxSessions caps concurrent sessions (0 = 256).
+	MaxSessions int
+	// DialTimeout bounds next-hop connection establishment (default 10s).
+	DialTimeout time.Duration
+	// HandshakeTimeout bounds the header read (default 15s).
+	HandshakeTimeout time.Duration
+	// Dial overrides the next-hop dialer (tests, emulation).
+	Dial core.Dialer
+	// Logf, when set, receives one line per session event.
+	Logf func(format string, args ...interface{})
+	// MaxStageBytes bounds a staged (custody) session's payload.
+	MaxStageBytes int64
+	// StageRetryInterval is the redelivery backoff for staged sessions.
+	StageRetryInterval time.Duration
+	// StageDeadline bounds how long staged payloads are retried before
+	// being discarded.
+	StageDeadline time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferSize == 0 {
+		c.BufferSize = 256 << 10
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 256
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	if c.HandshakeTimeout == 0 {
+		c.HandshakeTimeout = 15 * time.Second
+	}
+	if c.Dial == nil {
+		var d net.Dialer
+		c.Dial = d.DialContext
+	}
+	if c.MaxStageBytes == 0 {
+		c.MaxStageBytes = DefaultMaxStageBytes
+	}
+	if c.StageRetryInterval == 0 {
+		c.StageRetryInterval = DefaultStageRetryInterval
+	}
+	if c.StageDeadline == 0 {
+		c.StageDeadline = DefaultStageDeadline
+	}
+	return c
+}
+
+// Stats is a snapshot of depot counters.
+type Stats struct {
+	Accepted        uint64
+	RejectedBusy    uint64
+	RejectedRoute   uint64
+	RejectedProto   uint64
+	Completed       uint64
+	BytesForward    uint64
+	BytesBackward   uint64
+	Active          int64
+	MaxBuffered     int64 // high-water mark of a single relay buffer in use
+	Staged          uint64
+	StagedDelivered uint64
+	StagedAborted   uint64
+	StagedBytes     uint64
+}
+
+// Depot is a running daemon instance.
+type Depot struct {
+	cfg Config
+
+	accepted      atomic.Uint64
+	rejectedBusy  atomic.Uint64
+	rejectedRoute atomic.Uint64
+	rejectedProto atomic.Uint64
+	completed     atomic.Uint64
+	bytesFwd      atomic.Uint64
+	bytesBack     atomic.Uint64
+	active        atomic.Int64
+
+	staged          atomic.Uint64
+	stagedDelivered atomic.Uint64
+	stagedAborted   atomic.Uint64
+	stagedBytes     atomic.Uint64
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds a depot with cfg.
+func New(cfg Config) *Depot {
+	return &Depot{cfg: cfg.withDefaults()}
+}
+
+// Stats snapshots the counters.
+func (d *Depot) Stats() Stats {
+	return Stats{
+		Accepted:        d.accepted.Load(),
+		RejectedBusy:    d.rejectedBusy.Load(),
+		RejectedRoute:   d.rejectedRoute.Load(),
+		RejectedProto:   d.rejectedProto.Load(),
+		Completed:       d.completed.Load(),
+		BytesForward:    d.bytesFwd.Load(),
+		BytesBackward:   d.bytesBack.Load(),
+		Active:          d.active.Load(),
+		MaxBuffered:     int64(d.cfg.BufferSize),
+		Staged:          d.staged.Load(),
+		StagedDelivered: d.stagedDelivered.Load(),
+		StagedAborted:   d.stagedAborted.Load(),
+		StagedBytes:     d.stagedBytes.Load(),
+	}
+}
+
+func (d *Depot) logf(format string, args ...interface{}) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe binds addr and serves until Close.
+func (d *Depot) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return d.Serve(ln)
+}
+
+// Serve runs the accept loop on ln until Close (or a permanent accept
+// error). Each session runs on its own goroutine pair.
+func (d *Depot) Serve(ln net.Listener) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		ln.Close()
+		return errors.New("depot: closed")
+	}
+	d.ln = ln
+	d.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			d.mu.Lock()
+			closed := d.closed
+			d.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.handle(nc)
+		}()
+	}
+}
+
+// Addr returns the bound address once Serve has started.
+func (d *Depot) Addr() net.Addr {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ln == nil {
+		return nil
+	}
+	return d.ln.Addr()
+}
+
+// Close stops the accept loop and waits for in-flight sessions to finish.
+func (d *Depot) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	ln := d.ln
+	d.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	d.wg.Wait()
+	return err
+}
+
+func (d *Depot) reject(nc net.Conn, id wire.SessionID, code uint8) {
+	nc.Write((&wire.AcceptFrame{Code: code, Session: id}).Encode())
+	nc.Close()
+}
+
+// handle runs one session: header, admission, next-hop dial, relay.
+func (d *Depot) handle(up net.Conn) {
+	up.SetReadDeadline(time.Now().Add(d.cfg.HandshakeTimeout))
+	hdr, err := wire.ReadOpenHeader(up)
+	if err != nil {
+		d.rejectedProto.Add(1)
+		d.logf("depot: bad header from %v: %v", up.RemoteAddr(), err)
+		up.Close()
+		return
+	}
+	up.SetReadDeadline(time.Time{})
+
+	if hdr.Final() {
+		// We are the last hop in the route but run as a depot, not a
+		// target: the initiator misrouted.
+		d.rejectedRoute.Add(1)
+		d.reject(up, hdr.Session, wire.CodeRejectRoute)
+		return
+	}
+	if hdr.Flags&wire.FlagStaged != 0 {
+		d.handleStaged(up, hdr)
+		return
+	}
+	if d.active.Load() >= int64(d.cfg.MaxSessions) {
+		d.rejectedBusy.Add(1)
+		d.logf("depot: session %s rejected: busy", hdr.Session)
+		d.reject(up, hdr.Session, wire.CodeRejectBusy)
+		return
+	}
+
+	next, _ := hdr.NextHop()
+	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.DialTimeout)
+	down, err := d.cfg.Dial(ctx, "tcp", next)
+	cancel()
+	if err != nil {
+		d.rejectedRoute.Add(1)
+		d.logf("depot: session %s next hop %s unreachable: %v", hdr.Session, next, err)
+		d.reject(up, hdr.Session, wire.CodeRejectRoute)
+		return
+	}
+
+	// Forward the header with the hop index advanced.
+	hdr.HopIndex++
+	enc, err := hdr.Encode()
+	if err != nil {
+		d.rejectedProto.Add(1)
+		d.reject(up, hdr.Session, wire.CodeRejectProto)
+		down.Close()
+		return
+	}
+	if _, err := down.Write(enc); err != nil {
+		d.rejectedRoute.Add(1)
+		d.reject(up, hdr.Session, wire.CodeRejectRoute)
+		down.Close()
+		return
+	}
+
+	d.accepted.Add(1)
+	d.active.Add(1)
+	d.logf("depot: session %s %v -> %s (hop %d/%d)", hdr.Session, up.RemoteAddr(), next, hdr.HopIndex, len(hdr.Route))
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		n := d.relay(down, up) // forward: payload toward the target
+		d.bytesFwd.Add(uint64(n))
+		halfClose(down)
+	}()
+	go func() {
+		defer wg.Done()
+		n := d.relay(up, down) // backward: accept frame and replies
+		d.bytesBack.Add(uint64(n))
+		halfClose(up)
+	}()
+	wg.Wait()
+	up.Close()
+	down.Close()
+	d.active.Add(-1)
+	d.completed.Add(1)
+	d.logf("depot: session %s done in %v", hdr.Session, time.Since(start).Round(time.Millisecond))
+}
+
+// relay pumps src into dst through a bounded buffer, returning bytes moved.
+func (d *Depot) relay(dst io.Writer, src io.Reader) int64 {
+	buf := make([]byte, d.cfg.BufferSize)
+	n, _ := io.CopyBuffer(dst, src, buf)
+	return n
+}
+
+// halfClose propagates EOF without tearing down the reverse direction.
+func halfClose(c net.Conn) {
+	type closeWriter interface{ CloseWrite() error }
+	if cw, ok := c.(closeWriter); ok {
+		cw.CloseWrite()
+	}
+	// Without half-close support the caller's full Close (after both
+	// directions finish) ends the connection.
+}

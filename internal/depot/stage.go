@@ -1,0 +1,170 @@
+package depot
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"lsl/internal/wire"
+)
+
+// Staged (asynchronous) sessions: the paper's §III observes that "the
+// ultimate sending and receiving ports need not exist at the same time",
+// with depots providing application-controlled buffering to potentially
+// anonymous clients. A session opened with wire.FlagStaged is accepted by
+// the first depot itself: it takes custody of the complete payload
+// (bounded by MaxStageBytes), acknowledges the initiator, and then
+// delivers the payload over the remaining route asynchronously, retrying
+// while the downstream is unreachable. The end-to-end MD5 trailer is
+// stored and forwarded verbatim, so integrity verification still happens
+// at the ultimate receiver.
+
+// stage-related configuration (part of Config).
+const (
+	// DefaultMaxStageBytes bounds one staged session's custody buffer.
+	DefaultMaxStageBytes = 64 << 20
+	// DefaultStageRetryInterval is the redelivery backoff base.
+	DefaultStageRetryInterval = 2 * time.Second
+	// DefaultStageDeadline is how long the depot tries before discarding.
+	DefaultStageDeadline = 5 * time.Minute
+)
+
+// handleStaged runs the custody path for a staged session: read the whole
+// stream, acknowledge, deliver in the background.
+func (d *Depot) handleStaged(up netConnLike, hdr *wire.OpenHeader) {
+	defer up.Close()
+	length := int64(0)
+	if hdr.ContentLen == wire.UnknownLength {
+		d.rejectedProto.Add(1)
+		d.logf("depot: staged session %s needs a content length", hdr.Session)
+		up.Write((&wire.AcceptFrame{Code: wire.CodeRejectProto, Session: hdr.Session}).Encode())
+		return
+	}
+	length = int64(hdr.ContentLen)
+	total := length
+	if hdr.Flags&wire.FlagDigest != 0 {
+		total += wire.DigestLen
+	}
+	if total > d.cfg.MaxStageBytes {
+		d.rejectedBusy.Add(1)
+		d.logf("depot: staged session %s too large (%d > %d)", hdr.Session, total, d.cfg.MaxStageBytes)
+		up.Write((&wire.AcceptFrame{Code: wire.CodeRejectBusy, Session: hdr.Session}).Encode())
+		return
+	}
+
+	// Custody accept: the depot itself acknowledges the session before the
+	// payload flows (the initiator can then disconnect as soon as its
+	// upload completes).
+	if _, err := up.Write((&wire.AcceptFrame{Code: wire.CodeOK, Session: hdr.Session}).Encode()); err != nil {
+		return
+	}
+	buf := make([]byte, total)
+	if _, err := io.ReadFull(up, buf); err != nil {
+		d.logf("depot: staged session %s upload failed: %v", hdr.Session, err)
+		return
+	}
+	d.staged.Add(1)
+	d.stagedBytes.Add(uint64(total))
+	d.logf("depot: staged session %s in custody (%d bytes), delivering to %v",
+		hdr.Session, total, hdr.RemainingHops()[1:])
+
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		if err := d.deliverStaged(hdr, buf); err != nil {
+			d.stagedAborted.Add(1)
+			d.logf("depot: staged session %s abandoned: %v", hdr.Session, err)
+			return
+		}
+		d.stagedDelivered.Add(1)
+		d.logf("depot: staged session %s delivered", hdr.Session)
+	}()
+}
+
+// deliverStaged pushes a custody buffer over the remaining route, retrying
+// with linear backoff until the deadline.
+func (d *Depot) deliverStaged(hdr *wire.OpenHeader, payload []byte) error {
+	next, ok := hdr.NextHop()
+	if !ok {
+		return fmt.Errorf("staged session terminates at a depot")
+	}
+	fwd := *hdr
+	fwd.HopIndex++
+	fwd.Flags &^= wire.FlagStaged // downstream runs as an ordinary session
+	enc, err := fwd.Encode()
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(d.cfg.StageDeadline)
+	attempt := 0
+	for {
+		attempt++
+		err := d.attemptDelivery(next, enc, payload, fwd.Session)
+		if err == nil {
+			return nil
+		}
+		if d.isClosed() {
+			return fmt.Errorf("depot shutting down: %w", err)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gave up after %d attempts: %w", attempt, err)
+		}
+		d.logf("depot: staged session %s delivery attempt %d failed: %v", fwd.Session, attempt, err)
+		time.Sleep(d.cfg.StageRetryInterval)
+	}
+}
+
+func (d *Depot) attemptDelivery(next string, hdr, payload []byte, id wire.SessionID) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.DialTimeout)
+	down, err := d.cfg.Dial(ctx, "tcp", next)
+	cancel()
+	if err != nil {
+		return err
+	}
+	defer down.Close()
+	if _, err := down.Write(hdr); err != nil {
+		return err
+	}
+	// The downstream accept comes back through the new sublink.
+	down.SetReadDeadline(time.Now().Add(d.cfg.HandshakeTimeout))
+	acc, err := wire.ReadAcceptFrame(down)
+	if err != nil {
+		return fmt.Errorf("accept: %w", err)
+	}
+	if acc.Session != id {
+		return fmt.Errorf("accept for wrong session")
+	}
+	if acc.Code != wire.CodeOK {
+		return fmt.Errorf("rejected: %s", wire.CodeString(acc.Code))
+	}
+	down.SetReadDeadline(time.Time{})
+	start := int64(0)
+	if acc.Offset > 0 && acc.Offset < uint64(len(payload)) {
+		start = int64(acc.Offset) // resumed delivery
+	}
+	if _, err := io.Copy(down, bytes.NewReader(payload[start:])); err != nil {
+		return err
+	}
+	halfClose(down)
+	// Wait for the receiver to finish (EOF on the backward channel) so a
+	// mid-delivery crash is retried rather than silently dropped.
+	down.SetReadDeadline(time.Now().Add(d.cfg.HandshakeTimeout))
+	io.Copy(io.Discard, down)
+	return nil
+}
+
+// netConnLike is the subset of net.Conn the staged path needs (eases
+// testing and matches the relay code).
+type netConnLike interface {
+	io.ReadWriteCloser
+	SetReadDeadline(time.Time) error
+	Write(p []byte) (int, error)
+}
+
+func (d *Depot) isClosed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.closed
+}

@@ -1,0 +1,214 @@
+// Package emu provides userspace WAN emulation for the real LSL stack:
+// TCP proxies on loopback that impose one-way propagation delay and a
+// token-bucket rate limit in each direction. Examples and integration
+// tests use it to give the cascaded-socket implementation wide-area
+// characteristics without privileges (the kernel's own loopback TCP cannot
+// otherwise exhibit meaningful latency).
+//
+// This substitutes for the paper's Abilene paths for *functional*
+// purposes; the throughput experiments proper run on the deterministic
+// simulator (internal/netsim and friends), because userspace shaping
+// cannot inject packet loss into a kernel TCP flow without privileges.
+package emu
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Shape describes one direction's emulated conditions.
+type Shape struct {
+	// Delay is the added one-way propagation delay.
+	Delay time.Duration
+	// RateBps caps throughput in bits per second (0 = unlimited).
+	RateBps float64
+	// ChunkSize is the shaping granularity (default 16 KiB).
+	ChunkSize int
+}
+
+func (s Shape) withDefaults() Shape {
+	if s.ChunkSize == 0 {
+		s.ChunkSize = 16 << 10
+	}
+	return s
+}
+
+// Proxy is a shaping TCP relay: connections accepted on Addr are piped to
+// Target with Up applied client→target and Down applied target→client.
+type Proxy struct {
+	Target string
+	Up     Shape
+	Down   Shape
+
+	ln     net.Listener
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy builds a proxy toward target.
+func NewProxy(target string, up, down Shape) *Proxy {
+	return &Proxy{Target: target, Up: up.withDefaults(), Down: down.withDefaults()}
+}
+
+// Start binds a loopback port and begins relaying. It returns the
+// listening address.
+func (p *Proxy) Start() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	p.mu.Lock()
+	p.ln = ln
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				p.handle(nc)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the proxy's listening address ("" before Start).
+func (p *Proxy) Addr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// Close stops the proxy and waits for relays to finish.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	ln := p.ln
+	p.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	p.wg.Wait()
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	server, err := net.Dial("tcp", p.Target)
+	if err != nil {
+		client.Close()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		shapedCopy(server, client, p.Up)
+		halfClose(server)
+	}()
+	go func() {
+		defer wg.Done()
+		shapedCopy(client, server, p.Down)
+		halfClose(client)
+	}()
+	wg.Wait()
+	client.Close()
+	server.Close()
+}
+
+func halfClose(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+}
+
+// shapedCopy relays src to dst while imposing the shape: each chunk is
+// released no earlier than its token-bucket send time, then written after
+// the propagation delay. Delay is pipelined (it postpones the write, not
+// the next read), so it models latency rather than throughput loss.
+func shapedCopy(dst io.Writer, src io.Reader, s Shape) {
+	s = s.withDefaults()
+	type chunk struct {
+		data []byte
+		due  time.Time
+	}
+	// A small in-flight channel keeps the reader ahead of the writer by a
+	// bounded amount — an emulated bandwidth-delay product.
+	pipe := make(chan chunk, 64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for c := range pipe {
+			if wait := time.Until(c.due); wait > 0 {
+				time.Sleep(wait)
+			}
+			if _, err := dst.Write(c.data); err != nil {
+				// Drain remaining chunks so the reader can exit.
+				for range pipe {
+				}
+				return
+			}
+		}
+	}()
+	buf := make([]byte, s.ChunkSize)
+	var nextSend time.Time
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			now := time.Now()
+			if nextSend.Before(now) {
+				nextSend = now
+			}
+			var txTime time.Duration
+			if s.RateBps > 0 {
+				txTime = time.Duration(float64(n*8) / s.RateBps * float64(time.Second))
+			}
+			release := nextSend.Add(txTime)
+			nextSend = release
+			// Apply backpressure when the emulated pipe is too far ahead.
+			if ahead := time.Until(release); ahead > 200*time.Millisecond {
+				time.Sleep(ahead - 200*time.Millisecond)
+			}
+			data := make([]byte, n)
+			copy(data, buf[:n])
+			pipe <- chunk{data: data, due: release.Add(s.Delay)}
+		}
+		if err != nil {
+			break
+		}
+	}
+	close(pipe)
+	<-done
+}
+
+// Chain builds one proxy per hop address, returning the rewritten
+// addresses: Chain(["a:1","b:2"], shape) yields proxy addresses that relay
+// to a:1 and b:2 with the shape applied in both directions. Useful for
+// giving every sublink of an LSL route its own emulated WAN segment.
+func Chain(targets []string, up, down Shape) ([]string, []*Proxy, error) {
+	addrs := make([]string, 0, len(targets))
+	proxies := make([]*Proxy, 0, len(targets))
+	for _, tgt := range targets {
+		p := NewProxy(tgt, up, down)
+		a, err := p.Start()
+		if err != nil {
+			for _, q := range proxies {
+				q.Close()
+			}
+			return nil, nil, err
+		}
+		addrs = append(addrs, a)
+		proxies = append(proxies, p)
+	}
+	return addrs, proxies, nil
+}

@@ -1,0 +1,219 @@
+package emu
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer returns the address of a TCP server that echoes all input.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(nc, nc)
+				nc.Close()
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// sinkServer consumes everything and reports the byte count.
+func sinkServer(t *testing.T) (string, chan int) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	counts := make(chan int, 4)
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				n, _ := io.Copy(io.Discard, nc)
+				nc.Close()
+				counts <- int(n)
+			}()
+		}
+	}()
+	return ln.Addr().String(), counts
+}
+
+func TestProxyPassesDataIntact(t *testing.T) {
+	target := echoServer(t)
+	p := NewProxy(target, Shape{}, Shape{})
+	addr, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	msg := bytes.Repeat([]byte("0123456789"), 5000)
+	go func() {
+		nc.Write(msg)
+		nc.(*net.TCPConn).CloseWrite()
+	}()
+	got, err := io.ReadAll(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo corrupted: %d vs %d bytes", len(got), len(msg))
+	}
+}
+
+func TestProxyAddsLatency(t *testing.T) {
+	target := echoServer(t)
+	p := NewProxy(target, Shape{Delay: 30 * time.Millisecond}, Shape{Delay: 30 * time.Millisecond})
+	addr, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	start := time.Now()
+	nc.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(nc, buf); err != nil {
+		t.Fatal(err)
+	}
+	rtt := time.Since(start)
+	if rtt < 55*time.Millisecond {
+		t.Fatalf("rtt %v, want >= ~60ms", rtt)
+	}
+	if rtt > 500*time.Millisecond {
+		t.Fatalf("rtt %v unreasonably high", rtt)
+	}
+}
+
+func TestProxyRateLimits(t *testing.T) {
+	target, counts := sinkServer(t)
+	// 8 Mbit/s up: 1 MB should take ~1s.
+	p := NewProxy(target, Shape{RateBps: 8e6}, Shape{})
+	addr, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1<<20)
+	start := time.Now()
+	if _, err := nc.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	nc.(*net.TCPConn).CloseWrite()
+	select {
+	case n := <-counts:
+		if n != len(payload) {
+			t.Fatalf("sink got %d", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("timeout")
+	}
+	elapsed := time.Since(start)
+	nc.Close()
+	if elapsed < 700*time.Millisecond {
+		t.Fatalf("1MB at 8Mbit/s finished in %v; rate limit ineffective", elapsed)
+	}
+	if elapsed > 4*time.Second {
+		t.Fatalf("took %v; shaper too slow", elapsed)
+	}
+}
+
+func TestProxyHalfCloseForwardsEOF(t *testing.T) {
+	target, counts := sinkServer(t)
+	p := NewProxy(target, Shape{Delay: 5 * time.Millisecond}, Shape{})
+	addr, _ := p.Start()
+	defer p.Close()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.Write([]byte("abc"))
+	nc.(*net.TCPConn).CloseWrite()
+	select {
+	case n := <-counts:
+		if n != 3 {
+			t.Fatalf("n=%d", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("EOF not propagated")
+	}
+}
+
+func TestChainBuildsPerHopProxies(t *testing.T) {
+	t1 := echoServer(t)
+	t2 := echoServer(t)
+	addrs, proxies, err := Chain([]string{t1, t2}, Shape{Delay: time.Millisecond}, Shape{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, p := range proxies {
+			p.Close()
+		}
+	}()
+	if len(addrs) != 2 || addrs[0] == addrs[1] {
+		t.Fatalf("addrs=%v", addrs)
+	}
+	for _, a := range addrs {
+		nc, err := net.Dial("tcp", a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc.Write([]byte("hi"))
+		buf := make([]byte, 2)
+		if _, err := io.ReadFull(nc, buf); err != nil || string(buf) != "hi" {
+			t.Fatalf("chain echo failed: %v %q", err, buf)
+		}
+		nc.Close()
+	}
+}
+
+func TestProxyCloseIdempotentAndUnblocks(t *testing.T) {
+	target := echoServer(t)
+	p := NewProxy(target, Shape{}, Shape{})
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close hung")
+	}
+}

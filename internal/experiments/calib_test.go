@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestCalibrationPrint is a scratch harness used while tuning topologies.
+func TestCalibrationPrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration print")
+	}
+	for _, sc := range []Scenario{Case1(), Case2(), Case3(), CaseOSU()} {
+		r := RunRTT(sc, 4<<20, 3, 42)
+		t.Logf("%s RTT: sub1=%.1f sub2=%.1f e2e=%.1f sum=%.1f (delta %.1f)",
+			sc.Name, r.Sub1Ms, r.Sub2Ms, r.E2EMs, r.SumMs, r.SumMs-r.E2EMs)
+	}
+	sizes := []int64{32 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+	for _, sc := range []Scenario{Case1(), Case2(), Case3(), CaseOSU()} {
+		pts := RunSweep(sc, sizes, 3, 42)
+		for _, p := range pts {
+			t.Logf("%s size=%8d direct=%6.2f lsl=%6.2f improv=%+.0f%%",
+				sc.Name, p.Size, p.DirectMbps, p.LSLMbps, p.Improvement()*100)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"lsl/internal/lslsim"
+)
+
+func TestScenarioRegistry(t *testing.T) {
+	m := Scenarios()
+	for _, name := range []string{"case1", "case2", "case3", "osu"} {
+		sc, ok := m[name]
+		if !ok {
+			t.Fatalf("missing scenario %s", name)
+		}
+		if sc.Label == "" || sc.Build == nil {
+			t.Fatalf("scenario %s incomplete", name)
+		}
+	}
+	if _, err := ScenarioByName("nope"); err == nil {
+		t.Fatal("unknown scenario should error")
+	}
+}
+
+func TestTopologyShape(t *testing.T) {
+	for name, sc := range Scenarios() {
+		tp := sc.Build(1)
+		if len(tp.Hops) != 2 {
+			t.Fatalf("%s: hops=%d", name, len(tp.Hops))
+		}
+		if tp.DirectFwd.PropDelay() <= 0 {
+			t.Fatalf("%s: no propagation delay", name)
+		}
+		// The LSL detour must not shorten the propagation path (the paper
+		// does not route around anything).
+		sum := tp.Hops[0].Fwd.PropDelay() + tp.Hops[1].Fwd.PropDelay()
+		if sum < tp.DirectFwd.PropDelay() {
+			t.Fatalf("%s: sublink propagation %v < direct %v", name, sum, tp.DirectFwd.PropDelay())
+		}
+	}
+}
+
+func TestSeedMixDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := int64(0); i < 50; i++ {
+		for s := int64(0); s < 4; s++ {
+			v := seedMix(42, i, s)
+			if v < 0 {
+				t.Fatal("negative seed")
+			}
+			if seen[v] {
+				t.Fatalf("seed collision at i=%d s=%d", i, s)
+			}
+			seen[v] = true
+		}
+	}
+	if seedMix(1, 2, 3) != seedMix(1, 2, 3) {
+		t.Fatal("seedMix not deterministic")
+	}
+}
+
+func TestRTTShapesMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r1 := RunRTT(Case1(), 2<<20, 2, 7)
+	if r1.Sub1Ms <= 0 || r1.Sub2Ms <= 0 || r1.E2EMs <= 0 {
+		t.Fatalf("case1 rtt zeros: %+v", r1)
+	}
+	// Figure 3: detour adds little (sum within ~15ms of e2e).
+	if d := r1.SumMs - r1.E2EMs; d < 0 || d > 15 {
+		t.Fatalf("case1 delta=%v want ~6ms", d)
+	}
+	// Sublinks must each be well under the end-to-end RTT.
+	if r1.Sub1Ms >= r1.E2EMs || r1.Sub2Ms >= r1.E2EMs {
+		t.Fatalf("sublink RTTs should be under e2e: %+v", r1)
+	}
+
+	// Figure 4: loaded depot inflates the sum by more (~20ms).
+	r2 := RunRTT(Case2(), 2<<20, 2, 7)
+	if d := r2.SumMs - r2.E2EMs; d < 10 || d > 40 {
+		t.Fatalf("case2 delta=%v want ~20ms", d)
+	}
+
+	// Figure 9: the wired WAN sublink dominates.
+	r3 := RunRTT(Case3(), 2<<20, 2, 7)
+	if r3.Sub1Ms <= r3.Sub2Ms {
+		t.Fatalf("case3 sub1 (%v) should exceed sub2 (%v)", r3.Sub1Ms, r3.Sub2Ms)
+	}
+}
+
+func TestCase1SweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	pts := RunSweep(Case1(), []int64{32 << 10, 16 << 20}, 3, 11)
+	// Figure 5's 32K point: dual connection setup makes LSL slower.
+	if pts[0].Improvement() >= 0 {
+		t.Fatalf("32K: LSL should lose; improvement %+.2f", pts[0].Improvement())
+	}
+	// Figure 6 regime: LSL clearly ahead for big transfers.
+	if pts[1].Improvement() < 0.10 {
+		t.Fatalf("16M: improvement %+.2f, want > +10%%", pts[1].Improvement())
+	}
+}
+
+func TestWirelessSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	pts := RunSweep(Case3(), []int64{8 << 20}, 3, 13)
+	if pts[0].Improvement() <= 0 {
+		t.Fatalf("wireless: LSL should win at 8M, improvement %+.2f", pts[0].Improvement())
+	}
+	// Both are capped by the 5 Mbit/s wireless link.
+	if pts[0].LSLMbps > 5.2 || pts[0].DirectMbps > 5.2 {
+		t.Fatalf("throughput above wireless capacity: %+v", pts[0])
+	}
+}
+
+func TestOSUGapPersists(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	pts := RunSweep(CaseOSU(), []int64{64 << 20}, 3, 17)
+	if pts[0].Improvement() < 0.10 {
+		t.Fatalf("OSU 64M improvement %+.2f, want strong persistent gap", pts[0].Improvement())
+	}
+}
+
+func TestSeqTracesShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	res := RunSeqTraces(Case1(), 16<<20, 4, 19)
+	if len(res.Direct.Runs) != 4 || len(res.Sub1.Runs) != 4 || len(res.Sub2.Runs) != 4 {
+		t.Fatal("missing runs")
+	}
+	s1, s2, d := res.CaseCurves("avg", 100)
+	// Sublinks finish well before direct (Figure 22).
+	f1, f2, fd := FinishTimeSeconds(s1), FinishTimeSeconds(s2), FinishTimeSeconds(d)
+	if f1 >= fd || f2 >= fd {
+		t.Fatalf("sublinks (%.2f, %.2f) should finish before direct (%.2f)", f1, f2, fd)
+	}
+	// Sublink 2 trails sublink 1 but only slightly (cascade conservation).
+	if f2 < f1 {
+		t.Fatalf("sublink2 (%.2f) cannot finish before sublink1 (%.2f)", f2, f1)
+	}
+	// Loss-case ordering is consistent.
+	counts := res.Direct.RetxCounts()
+	min, med, max := counts[res.Direct.MinLossRun()], counts[res.Direct.MedianLossRun()], counts[res.Direct.MaxLossRun()]
+	if min > med || med > max {
+		t.Fatalf("loss ordering broken: %v %v %v", min, med, max)
+	}
+}
+
+func TestFigureRegistryComplete(t *testing.T) {
+	figs := AllFigures()
+	if len(figs) != 27 {
+		t.Fatalf("want 27 data figures (3-29), got %d", len(figs))
+	}
+	seen := map[int]bool{}
+	for _, f := range figs {
+		if f.Num < 3 || f.Num > 29 {
+			t.Fatalf("figure number %d out of range", f.Num)
+		}
+		if seen[f.Num] {
+			t.Fatalf("duplicate figure %d", f.Num)
+		}
+		seen[f.Num] = true
+		if f.Title == "" || f.Expect == "" || f.Kind == "" {
+			t.Fatalf("figure %d incomplete: %+v", f.Num, f)
+		}
+		if _, err := ScenarioByName(f.Scenario); err != nil {
+			t.Fatalf("figure %d references bad scenario: %v", f.Num, err)
+		}
+		if f.Kind == "sweep" && len(f.Sizes) == 0 {
+			t.Fatalf("sweep figure %d has no sizes", f.Num)
+		}
+		if (f.Kind == "rtt" || f.Kind == "seq") && f.Size == 0 {
+			t.Fatalf("figure %d has no size", f.Num)
+		}
+	}
+	for n := 3; n <= 29; n++ {
+		if !seen[n] {
+			t.Fatalf("figure %d missing", n)
+		}
+	}
+}
+
+func TestFigureByID(t *testing.T) {
+	for _, id := range []string{"fig03", "fig3", "3"} {
+		f, err := FigureByID(id)
+		if err != nil || f.Num != 3 {
+			t.Fatalf("lookup %q: %v %+v", id, err, f)
+		}
+	}
+	if _, err := FigureByID("fig99"); err == nil {
+		t.Fatal("unknown figure should error")
+	}
+}
+
+func TestRunFigureRTT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	spec, _ := FigureByID("fig03")
+	spec.Size = 1 << 20 // cheap override for the test
+	data, err := RunFigure(spec, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Rows) != 4 {
+		t.Fatalf("rtt rows=%d", len(data.Rows))
+	}
+	if data.Rows[0][0] != "sublink 1" {
+		t.Fatalf("unexpected row: %v", data.Rows[0])
+	}
+}
+
+func TestRunFigureSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	spec, _ := FigureByID("fig05")
+	spec.Sizes = []int64{32 << 10, 64 << 10}
+	data, err := RunFigure(spec, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Rows) != 2 {
+		t.Fatalf("rows=%d", len(data.Rows))
+	}
+	if len(data.Series["direct"]) != 2 || len(data.Series["lsl"]) != 2 {
+		t.Fatal("missing sweep series")
+	}
+	if !strings.HasSuffix(data.Rows[0][0], "K") {
+		t.Fatalf("size label: %v", data.Rows[0][0])
+	}
+}
+
+func TestRunFigureSeq(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	spec, _ := FigureByID("fig15")
+	spec.Size = 1 << 20
+	data, err := RunFigure(spec, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"sublink1", "sublink2", "direct"} {
+		if len(data.Series[k]) == 0 {
+			t.Fatalf("missing %s series", k)
+		}
+	}
+}
+
+func TestRunFigureIndividual(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	spec, _ := FigureByID("fig11")
+	spec.Size = 1 << 20
+	data, err := RunFigure(spec, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Series) != 4 { // 3 runs + average
+		t.Fatalf("series=%d", len(data.Series))
+	}
+	if _, ok := data.Series["average"]; !ok {
+		t.Fatal("missing average")
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	if got := sizeLabel(32 << 10); got != "32K" {
+		t.Fatal(got)
+	}
+	if got := sizeLabel(64 << 20); got != "64M" {
+		t.Fatal(got)
+	}
+	if got := sizeLabel(100); got != "100B" {
+		t.Fatal(got)
+	}
+	if got := sizeLabel(1536 << 10); got != "1536K" {
+		t.Fatal(got)
+	}
+}
+
+// Regression: a long wireless cascade must not exhibit multi-second send
+// stalls (the exponential-RTO-ladder pathology fixed in tcpsim: after a
+// timeout with SACKed data outstanding, holes are repaired ACK-clocked and
+// forward progress resets the backoff).
+func TestWirelessCascadeNoLongStalls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tp := Case3().Build(0)
+	res := lslsim.RunCascade(tp.E, tp.Hops, tp.Sess, 64<<20)
+	if res.Bytes != 64<<20 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+	for i, tr := range res.Traces {
+		if gap := tr.MaxSendGapSeconds(); gap > 3.0 {
+			t.Fatalf("sublink%d stalled for %.1fs", i+1, gap)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteTSV renders the figure's table as tab-separated values with a
+// commented preamble, followed by one block per curve for sequence/sweep
+// figures — a format gnuplot and spreadsheets both accept, replacing the
+// paper's raw tcpdump-derived data files.
+func (d FigureData) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n# scenario=%s kind=%s\n# paper: %s\n",
+		d.Spec.ID, d.Spec.Title, d.Spec.Scenario, d.Spec.Kind, d.Spec.Expect); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(d.Header, "\t")); err != nil {
+		return err
+	}
+	for _, row := range d.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	if len(d.Series) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(d.Series))
+	for name := range d.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "\n# series: %s\n# x\ty\n", name); err != nil {
+			return err
+		}
+		for _, p := range d.Series[name] {
+			if _, err := fmt.Fprintf(w, "%g\t%g\n", p.X, p.Y); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"lsl/internal/sizeparse"
+
+	"lsl/internal/stats"
+)
+
+// FigureSpec identifies one data figure of the paper's evaluation and how
+// to regenerate it.
+type FigureSpec struct {
+	ID       string // "fig03" ... "fig29"
+	Num      int
+	Title    string // paper caption, abbreviated
+	Scenario string // case1, case2, case3, osu
+	Kind     string // "rtt", "sweep", "seq"
+	Sizes    []int64
+	Size     int64
+	Sel      string // seq figures: "min", "median", "max", "avg", "individual"
+	// Iters is the default iteration count used by the harness; PaperIters
+	// is what the paper ran (10 for cases 1-3, 120 for the OSU study).
+	Iters      int
+	PaperIters int
+	Expect     string // the paper's qualitative result, for EXPERIMENTS.md
+}
+
+// FigureData is the regenerated content of one figure: a printable table
+// and, for sequence figures, the raw curves.
+type FigureData struct {
+	Spec   FigureSpec
+	Header []string
+	Rows   [][]string
+	Series map[string]stats.Series
+}
+
+func kb(n int64) int64 { return n << 10 }
+func mb(n int64) int64 { return n << 20 }
+
+func sizesMB(ns ...int64) []int64 {
+	out := make([]int64, len(ns))
+	for i, n := range ns {
+		out[i] = mb(n)
+	}
+	return out
+}
+
+func sizesKB(ns ...int64) []int64 {
+	out := make([]int64, len(ns))
+	for i, n := range ns {
+		out[i] = kb(n)
+	}
+	return out
+}
+
+// AllFigures enumerates every data figure in the paper (Figures 1 and 2
+// are architecture diagrams).
+func AllFigures() []FigureSpec {
+	seq := func(num int, title, scen, sel string, size int64, iters int) FigureSpec {
+		return FigureSpec{
+			ID: fmt.Sprintf("fig%02d", num), Num: num, Title: title,
+			Scenario: scen, Kind: "seq", Size: size, Sel: sel,
+			Iters: iters, PaperIters: 10 + 1,
+		}
+	}
+	figs := []FigureSpec{
+		{ID: "fig03", Num: 3, Title: "Average observed TCP RTT, Case 1", Scenario: "case1",
+			Kind: "rtt", Size: mb(8), Iters: 5, PaperIters: 10,
+			Expect: "sum of sublink RTTs exceeds end-to-end by only ~6ms (Denver detour is cheap)"},
+		{ID: "fig04", Num: 4, Title: "Average observed TCP RTT, Case 2", Scenario: "case2",
+			Kind: "rtt", Size: mb(8), Iters: 5, PaperIters: 10,
+			Expect: "~20ms average inflation, mostly load-induced at the depot host"},
+		{ID: "fig05", Num: 5, Title: "Bandwidth 32K-256K, UCSB->UIUC", Scenario: "case1",
+			Kind: "sweep", Sizes: sizesKB(32, 64, 96, 128, 160, 192, 224, 256), Iters: 10, PaperIters: 10,
+			Expect: "LSL below direct at 32K (dual setup), ~60% above by 256K"},
+		{ID: "fig06", Num: 6, Title: "Bandwidth 1M-64M, UCSB->UIUC", Scenario: "case1",
+			Kind: "sweep", Sizes: sizesMB(1, 2, 4, 8, 16, 32, 64), Iters: 5, PaperIters: 10,
+			Expect: "LSL sustains ~60% improvement for large transfers"},
+		{ID: "fig07", Num: 7, Title: "Bandwidth 32K-256K, UCSB->UF", Scenario: "case2",
+			Kind: "sweep", Sizes: sizesKB(32, 64, 96, 128, 160, 192, 224, 256), Iters: 10, PaperIters: 10,
+			Expect: "roughly equivalent performance for small transfers"},
+		{ID: "fig08", Num: 8, Title: "Bandwidth 1M-128M, UCSB->UF", Scenario: "case2",
+			Kind: "sweep", Sizes: sizesMB(1, 2, 4, 8, 16, 32, 64, 128), Iters: 4, PaperIters: 10,
+			Expect: "LSL significantly higher once setup cost is amortized"},
+		{ID: "fig09", Num: 9, Title: "Average observed TCP RTT, Case 3 (wireless)", Scenario: "case3",
+			Kind: "rtt", Size: mb(8), Iters: 5, PaperIters: 10,
+			Expect: "sublink 1 (the wired WAN sublink) carries nearly all of the RTT"},
+		{ID: "fig10", Num: 10, Title: "Bandwidth 1M-256M, UTK->UCSB wireless", Scenario: "case3",
+			Kind: "sweep", Sizes: sizesMB(1, 2, 4, 8, 16, 32, 64, 128, 256), Iters: 3, PaperIters: 10,
+			Expect: "~13% average LSL improvement despite the wireless bottleneck"},
+
+		seq(11, "Direct TCP seq growth, 64M individual+average", "case1", "individual-direct", mb(64), 10),
+		seq(12, "Sublink 1 seq growth, 64M individual+average", "case1", "individual-sub1", mb(64), 10),
+		seq(13, "Sublink 2 seq growth, 64M individual+average", "case1", "individual-sub2", mb(64), 10),
+		seq(14, "Average seq growth, 64M: sublinks vs direct", "case1", "avg", mb(64), 10),
+		seq(15, "4M transfer, no packet loss", "case1", "min", mb(4), 10),
+		seq(16, "4M transfer, median loss", "case1", "median", mb(4), 10),
+		seq(17, "4M transfer, max loss", "case1", "max", mb(4), 10),
+		seq(18, "4M transfer, average", "case1", "avg", mb(4), 10),
+		seq(19, "16M transfer, min loss", "case1", "min", mb(16), 10),
+		seq(20, "16M transfer, median loss", "case1", "median", mb(16), 10),
+		seq(21, "16M transfer, max loss", "case1", "max", mb(16), 10),
+		seq(22, "16M transfer, average", "case1", "avg", mb(16), 10),
+		seq(23, "64M transfer, min loss", "case1", "min", mb(64), 10),
+		seq(24, "64M transfer, median loss", "case1", "median", mb(64), 10),
+		seq(25, "64M transfer, max loss", "case1", "max", mb(64), 10),
+		seq(26, "32M UCSB->UF seq growth", "case2", "avg", mb(32), 5),
+		seq(27, "256M wireless seq growth", "case3", "median", mb(256), 3),
+
+		{ID: "fig28", Num: 28, Title: "UCSB->OSU 1M-512M (steady state)", Scenario: "osu",
+			Kind: "sweep", Sizes: sizesMB(1, 2, 4, 8, 16, 32, 64, 128, 256, 512), Iters: 3, PaperIters: 120,
+			Expect: "LSL advantage persists at 512M; no sign of convergence"},
+		{ID: "fig29", Num: 29, Title: "UCSB->OSU 32K-1024K", Scenario: "osu",
+			Kind: "sweep", Sizes: sizesKB(32, 64, 128, 192, 256, 384, 512, 768, 1024), Iters: 10, PaperIters: 120,
+			Expect: "crossover from direct-favored to LSL-favored in the hundreds of KB"},
+	}
+	// Fill in seq expectations.
+	for i := range figs {
+		if figs[i].Kind == "seq" && figs[i].Expect == "" {
+			figs[i].Expect = "sublinks climb faster than direct; gap widens with loss"
+		}
+	}
+	sort.Slice(figs, func(i, j int) bool { return figs[i].Num < figs[j].Num })
+	return figs
+}
+
+// FigureByID finds one figure spec.
+func FigureByID(id string) (FigureSpec, error) {
+	for _, f := range AllFigures() {
+		if f.ID == id || fmt.Sprintf("fig%d", f.Num) == id || fmt.Sprintf("%d", f.Num) == id {
+			return f, nil
+		}
+	}
+	return FigureSpec{}, fmt.Errorf("experiments: unknown figure %q", id)
+}
+
+// RunFigure regenerates one figure. iters overrides the spec default when
+// positive. The result is deterministic for a given seed.
+func RunFigure(spec FigureSpec, iters int, seed int64) (FigureData, error) {
+	sc, err := ScenarioByName(spec.Scenario)
+	if err != nil {
+		return FigureData{}, err
+	}
+	if iters <= 0 {
+		iters = spec.Iters
+	}
+	data := FigureData{Spec: spec, Series: map[string]stats.Series{}}
+	switch spec.Kind {
+	case "rtt":
+		r := RunRTT(sc, spec.Size, iters, seed)
+		data.Header = []string{"subpath", "avg RTT (ms)"}
+		data.Rows = [][]string{
+			{"sublink 1", fmt.Sprintf("%.1f", r.Sub1Ms)},
+			{"sublink 2", fmt.Sprintf("%.1f", r.Sub2Ms)},
+			{"end-to-end", fmt.Sprintf("%.1f", r.E2EMs)},
+			{"sum of sublinks", fmt.Sprintf("%.1f", r.SumMs)},
+		}
+	case "sweep":
+		pts := RunSweep(sc, spec.Sizes, iters, seed)
+		data.Header = []string{"xfer size", "direct Mbit/s", "±95%", "LSL Mbit/s", "±95%", "improvement"}
+		var dSer, lSer stats.Series
+		for _, p := range pts {
+			data.Rows = append(data.Rows, []string{
+				sizeLabel(p.Size),
+				fmt.Sprintf("%.2f", p.DirectMbps), fmt.Sprintf("%.2f", p.DirectCI),
+				fmt.Sprintf("%.2f", p.LSLMbps), fmt.Sprintf("%.2f", p.LSLCI),
+				fmt.Sprintf("%+.0f%%", p.Improvement()*100),
+			})
+			dSer = append(dSer, stats.Point{X: float64(p.Size), Y: p.DirectMbps})
+			lSer = append(lSer, stats.Point{X: float64(p.Size), Y: p.LSLMbps})
+		}
+		data.Series["direct"] = dSer
+		data.Series["lsl"] = lSer
+	case "seq":
+		res := RunSeqTraces(sc, spec.Size, iters, seed)
+		sel := spec.Sel
+		switch sel {
+		case "individual-direct", "individual-sub1", "individual-sub2":
+			var set = res.Direct
+			if sel == "individual-sub1" {
+				set = res.Sub1
+			} else if sel == "individual-sub2" {
+				set = res.Sub2
+			}
+			for i, run := range set.Runs {
+				data.Series[fmt.Sprintf("test%02d", i+1)] = run.SeqSeriesAt(set.Origins[i])
+			}
+			data.Series["average"] = set.AverageCurve(200)
+			data.Header = []string{"run", "duration (s)", "retransmissions"}
+			for i, run := range set.Runs {
+				s := run.SeqSeriesAt(set.Origins[i])
+				data.Rows = append(data.Rows, []string{
+					fmt.Sprintf("test%02d", i+1),
+					fmt.Sprintf("%.2f", s.MaxX()),
+					fmt.Sprintf("%d", run.Retransmissions()),
+				})
+			}
+		default:
+			s1, s2, d := res.CaseCurves(sel, 200)
+			data.Series["sublink1"] = s1
+			data.Series["sublink2"] = s2
+			data.Series["direct"] = d
+			data.Header = []string{"curve", "finish (s)", "final bytes"}
+			for _, row := range []struct {
+				name string
+				s    stats.Series
+			}{{"sublink1", s1}, {"sublink2", s2}, {"direct", d}} {
+				final := 0.0
+				if len(row.s) > 0 {
+					final = row.s[len(row.s)-1].Y
+				}
+				data.Rows = append(data.Rows, []string{
+					row.name,
+					fmt.Sprintf("%.2f", FinishTimeSeconds(row.s)),
+					fmt.Sprintf("%.0f", final),
+				})
+			}
+		}
+	default:
+		return FigureData{}, fmt.Errorf("experiments: unknown figure kind %q", spec.Kind)
+	}
+	return data, nil
+}
+
+func sizeLabel(n int64) string { return sizeparse.Format(n) }

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"lsl/internal/stats"
+)
+
+// HeadlinePoint is one (scenario, size) cell of the headline aggregate.
+type HeadlinePoint struct {
+	Scenario    string
+	Size        int64
+	Direct      float64
+	LSL         float64
+	Improvement float64
+}
+
+// HeadlineResult aggregates LSL's improvement over direct TCP across the
+// evaluation, the quantity behind the abstract's "increase end-to-end
+// throughput by an average of 40% and as much as 75% in a variety of
+// network settings".
+type HeadlineResult struct {
+	Points []HeadlinePoint
+	Avg    float64
+	Max    float64
+}
+
+// headlineSizes picks the amortized-transfer sizes per scenario: the
+// regime over which the paper states its claim (small transfers, where
+// LSL loses by design, are not part of the headline).
+var headlineSizes = map[string][]int64{
+	"case1": {4 << 20, 16 << 20, 64 << 20},
+	"case2": {16 << 20, 64 << 20, 128 << 20},
+	"case3": {8 << 20, 32 << 20},
+	"osu":   {16 << 20, 64 << 20},
+}
+
+// RunHeadline measures the aggregate claim at the given per-point
+// iteration count.
+func RunHeadline(iters int, seed int64) HeadlineResult {
+	var res HeadlineResult
+	names := make([]string, 0, len(headlineSizes))
+	for name := range headlineSizes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var improvements []float64
+	for _, name := range names {
+		sc, err := ScenarioByName(name)
+		if err != nil {
+			continue
+		}
+		pts := RunSweep(sc, headlineSizes[name], iters, seed)
+		for _, p := range pts {
+			hp := HeadlinePoint{
+				Scenario:    name,
+				Size:        p.Size,
+				Direct:      p.DirectMbps,
+				LSL:         p.LSLMbps,
+				Improvement: p.Improvement(),
+			}
+			res.Points = append(res.Points, hp)
+			improvements = append(improvements, hp.Improvement)
+		}
+	}
+	res.Avg = stats.Mean(improvements)
+	res.Max = stats.Max(improvements)
+	return res
+}
+
+// WriteTo renders the headline as a text table.
+func (h HeadlineResult) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	p := func(format string, args ...interface{}) error {
+		m, err := fmt.Fprintf(w, format, args...)
+		n += int64(m)
+		return err
+	}
+	if err := p("scenario  size      direct    lsl       improvement\n"); err != nil {
+		return n, err
+	}
+	for _, pt := range h.Points {
+		if err := p("%-8s  %-8s  %6.2f    %6.2f    %+6.0f%%\n",
+			pt.Scenario, sizeLabel(pt.Size), pt.Direct, pt.LSL, pt.Improvement*100); err != nil {
+			return n, err
+		}
+	}
+	err := p("headline: average %+.0f%%, maximum %+.0f%% (paper: average ~40%%, up to 75%%)\n",
+		h.Avg*100, h.Max*100)
+	return n, err
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeadlineSizesCoverAllScenarios(t *testing.T) {
+	for name := range Scenarios() {
+		if _, ok := headlineSizes[name]; !ok {
+			t.Fatalf("scenario %s missing from headline", name)
+		}
+	}
+	for name := range headlineSizes {
+		if _, err := ScenarioByName(name); err != nil {
+			t.Fatalf("headline references unknown scenario %s", name)
+		}
+	}
+}
+
+func TestHeadlineAggregate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	res := RunHeadline(2, 23)
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	// The paper's claim band, loosely: clearly positive on average, with a
+	// strong maximum. (2 iterations is noisy; assert direction, not value.)
+	if res.Avg <= 0.05 {
+		t.Fatalf("average improvement %+.2f, want clearly positive", res.Avg)
+	}
+	if res.Max < res.Avg {
+		t.Fatal("max below average")
+	}
+	var sb strings.Builder
+	if _, err := res.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "headline:") || !strings.Contains(out, "case1") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestFigureWriteTSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	spec, _ := FigureByID("fig15")
+	spec.Size = 1 << 20
+	data, err := RunFigure(spec, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := data.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# fig15", "# series: direct", "# series: sublink1", "# series: sublink2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("TSV missing %q", want)
+		}
+	}
+	if len(strings.Split(out, "\n")) < 20 {
+		t.Fatal("TSV suspiciously short")
+	}
+}

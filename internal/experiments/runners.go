@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"lsl/internal/lslsim"
+	"lsl/internal/stats"
+	"lsl/internal/trace"
+)
+
+// seedMix decorrelates per-iteration seeds across experiments while
+// remaining fully deterministic for a given base seed.
+func seedMix(base, iter, stream int64) int64 {
+	x := uint64(base)*0x9E3779B97F4A7C15 + uint64(iter)*0xBF58476D1CE4E5B9 + uint64(stream)*0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x & 0x7FFFFFFFFFFFFFFF)
+}
+
+// RTTResult is one paper-style RTT bar chart (Figures 3, 4, 9): the
+// average TCP-trace-measured RTT of each sublink, the direct end-to-end
+// connection, and the sum of the sublinks.
+type RTTResult struct {
+	Sub1Ms, Sub2Ms, E2EMs, SumMs float64
+}
+
+// RunRTT measures trace-derived average RTTs over iters transfers of size
+// bytes each, in both configurations.
+func RunRTT(sc Scenario, size int64, iters int, baseSeed int64) RTTResult {
+	var sub1, sub2, e2e []float64
+	for i := 0; i < iters; i++ {
+		t := sc.Build(seedMix(baseSeed, int64(i), 1))
+		res := lslsim.RunCascade(t.E, t.Hops, t.Sess, size)
+		if v := res.Traces[0].AvgRTTSeconds(); v > 0 {
+			sub1 = append(sub1, v*1000)
+		}
+		if v := res.Traces[1].AvgRTTSeconds(); v > 0 {
+			sub2 = append(sub2, v*1000)
+		}
+
+		t2 := sc.Build(seedMix(baseSeed, int64(i), 2))
+		dres := lslsim.RunDirect(t2.E, t2.DirectFwd, t2.DirectRev, t2.TCP, size)
+		if v := dres.Traces[0].AvgRTTSeconds(); v > 0 {
+			e2e = append(e2e, v*1000)
+		}
+	}
+	r := RTTResult{
+		Sub1Ms: stats.Mean(sub1),
+		Sub2Ms: stats.Mean(sub2),
+		E2EMs:  stats.Mean(e2e),
+	}
+	r.SumMs = r.Sub1Ms + r.Sub2Ms
+	return r
+}
+
+// SweepPoint is one x-position of a bandwidth-vs-size figure.
+type SweepPoint struct {
+	Size       int64
+	DirectMbps float64
+	DirectCI   float64 // 95% half-width
+	LSLMbps    float64
+	LSLCI      float64
+}
+
+// Improvement returns the LSL/direct throughput ratio minus one (e.g.
+// +0.60 for the paper's "60 percent" claims).
+func (p SweepPoint) Improvement() float64 {
+	if p.DirectMbps <= 0 {
+		return 0
+	}
+	return p.LSLMbps/p.DirectMbps - 1
+}
+
+// RunSweep measures mean throughput (paper methodology: wall-clock of the
+// whole operation, iters iterations per size) for direct TCP and LSL at
+// every size.
+func RunSweep(sc Scenario, sizes []int64, iters int, baseSeed int64) []SweepPoint {
+	out := make([]SweepPoint, 0, len(sizes))
+	for si, size := range sizes {
+		var direct, cascade []float64
+		for i := 0; i < iters; i++ {
+			td := sc.Build(seedMix(baseSeed, int64(i), int64(si)*4+1))
+			dres := lslsim.RunDirect(td.E, td.DirectFwd, td.DirectRev, td.TCP, size)
+			direct = append(direct, dres.Mbps())
+
+			tl := sc.Build(seedMix(baseSeed, int64(i), int64(si)*4+2))
+			lres := lslsim.RunCascade(tl.E, tl.Hops, tl.Sess, size)
+			cascade = append(cascade, lres.Mbps())
+		}
+		dm, dci := stats.MeanCI(direct)
+		lm, lci := stats.MeanCI(cascade)
+		out = append(out, SweepPoint{Size: size, DirectMbps: dm, DirectCI: dci, LSLMbps: lm, LSLCI: lci})
+	}
+	return out
+}
+
+// SeqResult carries the per-run traces of a sequence-growth experiment:
+// iters direct transfers and iters cascaded transfers of the same size.
+type SeqResult struct {
+	Size   int64
+	Direct *trace.Set
+	Sub1   *trace.Set
+	Sub2   *trace.Set
+}
+
+// RunSeqTraces gathers the traces behind Figures 11-27. All cascade traces
+// are origin-normalized to the session start so sublink 2's curve is
+// plotted relative to sublink 1, as in the paper.
+func RunSeqTraces(sc Scenario, size int64, iters int, baseSeed int64) SeqResult {
+	res := SeqResult{
+		Size:   size,
+		Direct: &trace.Set{Name: "direct"},
+		Sub1:   &trace.Set{Name: "sublink1"},
+		Sub2:   &trace.Set{Name: "sublink2"},
+	}
+	for i := 0; i < iters; i++ {
+		td := sc.Build(seedMix(baseSeed, int64(i), 11))
+		dres := lslsim.RunDirect(td.E, td.DirectFwd, td.DirectRev, td.TCP, size)
+		res.Direct.Runs = append(res.Direct.Runs, dres.Traces[0])
+		res.Direct.Origins = append(res.Direct.Origins, dres.Start)
+
+		tl := sc.Build(seedMix(baseSeed, int64(i), 12))
+		lres := lslsim.RunCascade(tl.E, tl.Hops, tl.Sess, size)
+		res.Sub1.Runs = append(res.Sub1.Runs, lres.Traces[0])
+		res.Sub1.Origins = append(res.Sub1.Origins, lres.Start)
+		res.Sub2.Runs = append(res.Sub2.Runs, lres.Traces[1])
+		res.Sub2.Origins = append(res.Sub2.Origins, lres.Start)
+	}
+	return res
+}
+
+// CaseCurves extracts the (sublink1, sublink2, direct) curves for one of
+// the paper's loss-selected comparison figures. which is "min", "median",
+// "max" or "avg". For min/median/max the *cascade* run is selected by the
+// total retransmissions across both sublinks, and the direct run by its
+// own retransmission count, mirroring the paper's like-for-like loss
+// comparison.
+func (r SeqResult) CaseCurves(which string, gridN int) (sub1, sub2, direct stats.Series) {
+	if which == "avg" {
+		return r.Sub1.AverageCurve(gridN), r.Sub2.AverageCurve(gridN), r.Direct.AverageCurve(gridN)
+	}
+	// Joint retransmission count per cascade run.
+	joint := make([]float64, len(r.Sub1.Runs))
+	for i := range r.Sub1.Runs {
+		joint[i] = float64(r.Sub1.Runs[i].Retransmissions() + r.Sub2.Runs[i].Retransmissions())
+	}
+	var li, di int
+	switch which {
+	case "min":
+		li, di = stats.ArgMin(joint), r.Direct.MinLossRun()
+	case "median":
+		li, di = stats.ArgMedian(joint), r.Direct.MedianLossRun()
+	case "max":
+		li, di = stats.ArgMax(joint), r.Direct.MaxLossRun()
+	default:
+		li, di = 0, 0
+	}
+	sub1 = r.Sub1.Runs[li].SeqSeriesAt(r.Sub1.Origins[li])
+	sub2 = r.Sub2.Runs[li].SeqSeriesAt(r.Sub2.Origins[li])
+	direct = r.Direct.Runs[di].SeqSeriesAt(r.Direct.Origins[di])
+	return
+}
+
+// FinishTimeSeconds returns when a curve reaches its final value — a proxy
+// for transfer completion in the sequence plots.
+func FinishTimeSeconds(s stats.Series) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	final := s[len(s)-1].Y
+	for _, p := range s {
+		if p.Y >= final-0.5 {
+			return p.X
+		}
+	}
+	return s[len(s)-1].X
+}

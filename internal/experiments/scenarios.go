@@ -1,0 +1,243 @@
+// Package experiments defines the paper's four testbed configurations as
+// simulator topologies and the runners that regenerate every evaluation
+// figure (Figures 3-29).
+//
+// Topology pattern (matching the paper's §IV methodology): the direct TCP
+// path and the LSL sublinks traverse the *same* access and backbone links —
+// the only change is that the LSL route additionally crosses a short
+// depot-access link near the intermediate POP ("chosen to minimize the
+// divergence of the LSL path from the default TCP path"). Loss and
+// queueing therefore affect both systems identically; what differs is
+// where TCP terminates.
+//
+// Calibration: link rates, delays and loss probabilities per case are set
+// so the direct connection's steady state matches the paper's observed
+// baselines via the Mathis bound (internal/tcpmodel), with sublink RTTs
+// matching the paper's Figures 3/4/9 bar charts. Absolute agreement with
+// Abilene-era numbers is not the goal; the mechanism and the relative
+// shapes are.
+package experiments
+
+import (
+	"fmt"
+
+	"lsl/internal/lslsim"
+	"lsl/internal/netsim"
+	"lsl/internal/tcpsim"
+)
+
+// Topology is one fully built simulation instance: a fresh engine, the
+// direct end-to-end paths, and the LSL hops over the same links.
+type Topology struct {
+	E         *netsim.Engine
+	DirectFwd *netsim.Path
+	DirectRev *netsim.Path
+	Hops      []lslsim.Hop
+	TCP       tcpsim.Config
+	Sess      lslsim.SessionConfig
+}
+
+// Scenario names a testbed case and builds fresh topologies for it.
+type Scenario struct {
+	Name  string // short id: case1, case2, case3, osu
+	Label string // paper description, e.g. "UCSB->UIUC via Denver"
+	Build func(seed int64) *Topology
+}
+
+// linkSpec simplifies symmetric link construction.
+type linkSpec struct {
+	name  string
+	rate  float64     // forward serialization rate (bps); reverse is uncapped
+	delay netsim.Time // one-way propagation
+	queue int         // forward drop-tail queue bytes
+	loss  float64     // per-packet loss probability, both directions
+}
+
+// buildChain constructs forward/reverse links for a source->depot->sink
+// chain, returning the direct paths (all links, skipping the depot access
+// stub) and two hops (source->depot, depot->sink).
+//
+// Layout: src -[acc1]- POP -[bb1]- depotPOP -[bb2]- POP -[acc2]- dst,
+// with the depot hanging off depotPOP via [dacc].
+func buildChain(e *netsim.Engine, acc1, bb1, dacc, bb2, acc2 linkSpec,
+	tcp tcpsim.Config, depotTCP func(in, out tcpsim.Config) (tcpsim.Config, tcpsim.Config)) (directF, directR *netsim.Path, hops []lslsim.Hop) {
+
+	mk := func(s linkSpec) (f, r *netsim.Link) {
+		f = netsim.NewLink(e, s.name+".f", s.rate, s.delay, s.queue, s.loss)
+		r = netsim.NewLink(e, s.name+".r", 0, s.delay, 0, s.loss)
+		return
+	}
+	a1f, a1r := mk(acc1)
+	b1f, b1r := mk(bb1)
+	df, dr := mk(dacc)
+	b2f, b2r := mk(bb2)
+	a2f, a2r := mk(acc2)
+
+	directF = netsim.NewPath(e, a1f, b1f, b2f, a2f)
+	directR = netsim.NewPath(e, a2r, b2r, b1r, a1r)
+
+	sub1TCP, sub2TCP := tcp, tcp
+	if depotTCP != nil {
+		sub1TCP, sub2TCP = depotTCP(tcp, tcp)
+	}
+	hops = []lslsim.Hop{
+		{
+			Name: "sub1",
+			Fwd:  netsim.NewPath(e, a1f, b1f, df),
+			Rev:  netsim.NewPath(e, dr, b1r, a1r),
+			TCP:  sub1TCP,
+		},
+		{
+			Name: "sub2",
+			Fwd:  netsim.NewPath(e, df, b2f, a2f),
+			Rev:  netsim.NewPath(e, a2r, b2r, dr),
+			TCP:  sub2TCP,
+		},
+	}
+	return
+}
+
+const (
+	mbit = 1e6
+	ms   = netsim.Millisecond
+)
+
+// Case1 is UCSB -> UIUC with the depot near the Denver POP (Figures 3, 5,
+// 6, 11-25). Direct RTT ≈ 60 ms; sublinks ≈ 31/35 ms (sum ≈ e2e + 6 ms).
+// Backbone loss calibrated for a ~11 Mbit/s direct Mathis bound, ~30
+// Mbit/s sublink bounds below the 45 Mbit/s backbone rate — the paper's
+// ~60% LSL advantage regime.
+func Case1() Scenario {
+	return Scenario{
+		Name:  "case1",
+		Label: "UCSB->UIUC via Denver",
+		Build: func(seed int64) *Topology {
+			e := netsim.NewEngine(seed)
+			tcp := tcpsim.DefaultConfig()
+			tcp.InitialSSThresh = 128 << 10 // route-cache ssthresh reuse
+			// Loss: calibrated so the direct connection's equilibrium is
+			// ~12 Mbit/s at its 61 ms RTT and each sublink's ~19-20 Mbit/s
+			// at ~33 ms — the paper's ~60% regime. The depot access path
+			// carries extra loss (shared campus egress of a user-level
+			// forwarding host), which only the sublinks see.
+			df, dr, hops := buildChain(e,
+				linkSpec{"ucsb", 100 * mbit, 1 * ms, 256 << 10, 0},
+				linkSpec{"bb-denver", 622 * mbit, 13 * ms, 4 << 20, 1.1e-4},
+				linkSpec{"depot-acc", 100 * mbit, 1500 * netsim.Microsecond, 256 << 10, 1.4e-4},
+				linkSpec{"bb-uiuc", 622 * mbit, 15 * ms, 4 << 20, 1.1e-4},
+				linkSpec{"uiuc", 100 * mbit, 1 * ms, 256 << 10, 0},
+				tcp, nil)
+			return &Topology{E: e, DirectFwd: df, DirectRev: dr, Hops: hops,
+				TCP: tcp, Sess: lslsim.DefaultSessionConfig()}
+		},
+	}
+}
+
+// Case2 is UCSB -> UF with the depot near the Houston POP (Figures 4, 7,
+// 8, 26). Higher-capacity path (80 Mbit/s backbone, light loss) and a
+// *loaded* depot host whose ACK-generation delay inflates sublink 1's
+// measured RTT — reproducing Figure 4's ~20 ms "load induced" RTT
+// inflation that ping (propagation alone, <2 ms detour) does not show.
+func Case2() Scenario {
+	return Scenario{
+		Name:  "case2",
+		Label: "UCSB->UF via Houston",
+		Build: func(seed int64) *Topology {
+			e := netsim.NewEngine(seed)
+			tcp := tcpsim.DefaultConfig()
+			tcp.InitialSSThresh = 256 << 10
+			loaded := func(in, out tcpsim.Config) (tcpsim.Config, tcpsim.Config) {
+				rng := e.Rand()
+				// Depot host under load: ~12 ms mean service delay before
+				// ACK emission upstream; ~1 ms forwarding jitter downstream.
+				in.ReceiverHostDelay = func() netsim.Time {
+					return netsim.Time((4 + rng.Float64()*10) * float64(ms))
+				}
+				out.SenderHostDelay = func() netsim.Time {
+					return netsim.Time(rng.Float64() * 2 * float64(ms))
+				}
+				return in, out
+			}
+			// Light loss (well-provisioned path): direct equilibrium
+			// ~35 Mbit/s; sublinks reach ~50 despite the loaded depot.
+			df, dr, hops := buildChain(e,
+				linkSpec{"ucsb", 100 * mbit, 1 * ms, 512 << 10, 0},
+				linkSpec{"bb-houston", 622 * mbit, 17 * ms, 4 << 20, 1e-5},
+				linkSpec{"depot-acc", 100 * mbit, 500 * netsim.Microsecond, 512 << 10, 1.2e-5},
+				linkSpec{"bb-uf", 622 * mbit, 17 * ms, 4 << 20, 1e-5},
+				linkSpec{"uf", 100 * mbit, 1 * ms, 512 << 10, 0},
+				tcp, loaded)
+			return &Topology{E: e, DirectFwd: df, DirectRev: dr, Hops: hops,
+				TCP: tcp, Sess: lslsim.DefaultSessionConfig()}
+		},
+	}
+}
+
+// Case3 is UTK -> UCSB where the receiver sits behind an 802.11b wireless
+// access link and the depot is placed at the UCSB wired edge, modeling "a
+// wireless provider with infrastructure willing to gateway LSL into TCP"
+// (Figures 9, 10, 27). Sublink 1 (the wide-area wired path) carries almost
+// all of the RTT; the wireless hop is short but slow and lossy.
+func Case3() Scenario {
+	return Scenario{
+		Name:  "case3",
+		Label: "UTK->UCSB (802.11b edge)",
+		Build: func(seed int64) *Topology {
+			e := netsim.NewEngine(seed)
+			tcp := tcpsim.DefaultConfig()
+			tcp.InitialSSThresh = 64 << 10
+			df, dr, hops := buildChain(e,
+				linkSpec{"utk", 100 * mbit, 1 * ms, 512 << 10, 0},
+				linkSpec{"bb-wan", 622 * mbit, 45 * ms, 4 << 20, 1e-4},
+				linkSpec{"ucsb-edge", 100 * mbit, 1 * ms, 512 << 10, 0},
+				linkSpec{"wlan", 5 * mbit, 2 * ms, 24 << 10, 5e-4},
+				linkSpec{"mobile", 10 * mbit, 500 * netsim.Microsecond, 64 << 10, 0},
+				tcp, nil)
+			return &Topology{E: e, DirectFwd: df, DirectRev: dr, Hops: hops,
+				TCP: tcp, Sess: lslsim.DefaultSessionConfig()}
+		},
+	}
+}
+
+// CaseOSU is UCSB -> OSU via Denver, the steady-state study (Figures 28,
+// 29): large transfers, many iterations, showing the LSL advantage does
+// not converge away even at 512 MB because loss-recovery speed remains
+// RTT-bound for the life of the connection (paper §VI).
+func CaseOSU() Scenario {
+	return Scenario{
+		Name:  "osu",
+		Label: "UCSB->OSU via Denver",
+		Build: func(seed int64) *Topology {
+			e := netsim.NewEngine(seed)
+			tcp := tcpsim.DefaultConfig()
+			tcp.InitialSSThresh = 160 << 10
+			df, dr, hops := buildChain(e,
+				linkSpec{"ucsb", 100 * mbit, 1 * ms, 256 << 10, 0},
+				linkSpec{"bb-denver", 622 * mbit, 13 * ms, 4 << 20, 7e-5},
+				linkSpec{"depot-acc", 100 * mbit, 1 * ms, 256 << 10, 1e-4},
+				linkSpec{"bb-osu", 622 * mbit, 14 * ms, 4 << 20, 7e-5},
+				linkSpec{"osu", 100 * mbit, 1 * ms, 256 << 10, 0},
+				tcp, nil)
+			return &Topology{E: e, DirectFwd: df, DirectRev: dr, Hops: hops,
+				TCP: tcp, Sess: lslsim.DefaultSessionConfig()}
+		},
+	}
+}
+
+// Scenarios returns all four cases keyed by name.
+func Scenarios() map[string]Scenario {
+	out := map[string]Scenario{}
+	for _, s := range []Scenario{Case1(), Case2(), Case3(), CaseOSU()} {
+		out[s.Name] = s
+	}
+	return out
+}
+
+// ScenarioByName looks up a scenario, with a helpful error.
+func ScenarioByName(name string) (Scenario, error) {
+	s, ok := Scenarios()[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("experiments: unknown scenario %q (want case1, case2, case3, osu)", name)
+	}
+	return s, nil
+}

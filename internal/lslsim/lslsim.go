@@ -1,0 +1,257 @@
+// Package lslsim models a Logistical Session Layer session over the
+// simulated TCP of internal/tcpsim: a source, a sink, and zero or more
+// intermediate depots, each coupling the receiver side of one TCP
+// connection to the sender side of the next through a small bounded
+// forwarding buffer (the paper's "small, short-lived intermediate
+// buffers").
+//
+// The protocol costs the paper identifies are modeled explicitly:
+//
+//   - serialized connection establishment: the initiator dials depot 1;
+//     only after the session header arrives does depot 1 dial the next
+//     hop, and so on (why small transfers lose, Figure 5);
+//   - a session header consuming real bytes on every sublink, and an MD5
+//     trailer between the end systems;
+//   - per-chunk depot forwarding latency (the "additional transport level
+//     processing and buffer-copying overhead at each depot");
+//   - bounded depot buffers imposing backpressure through ordinary TCP
+//     flow control, which keeps the cascade "TCP friendly";
+//   - optionally a confirmed end-to-end session accept before payload
+//     flows (the synchronous connection case of §IV).
+package lslsim
+
+import (
+	"lsl/internal/netsim"
+	"lsl/internal/tcpsim"
+	"lsl/internal/trace"
+)
+
+// DepotConfig tunes one depot's forwarding engine.
+type DepotConfig struct {
+	// BufferCap bounds the bytes a depot holds for a session (default 4 MB).
+	BufferCap int64
+	// ChunkSize is the read/forward granularity (default 64 KB).
+	ChunkSize int64
+	// ForwardDelay returns the per-chunk processing latency (buffer copy,
+	// context switches). Nil means 200µs per chunk.
+	ForwardDelay func() netsim.Time
+	// SetupDelay is the per-session initialization cost before the depot
+	// dials the next hop (buffer allocation, route parsing).
+	SetupDelay netsim.Time
+}
+
+func (d DepotConfig) withDefaults() DepotConfig {
+	if d.BufferCap == 0 {
+		d.BufferCap = 4 << 20
+	}
+	if d.ChunkSize == 0 {
+		d.ChunkSize = 64 << 10
+	}
+	if d.ForwardDelay == nil {
+		d.ForwardDelay = func() netsim.Time { return 200 * netsim.Microsecond }
+	}
+	if d.SetupDelay == 0 {
+		d.SetupDelay = 1 * netsim.Millisecond
+	}
+	return d
+}
+
+// Hop describes one sublink of the cascade: the network paths and the TCP
+// configuration of the connection that will run over them.
+type Hop struct {
+	Name string
+	Fwd  *netsim.Path
+	Rev  *netsim.Path
+	TCP  tcpsim.Config
+}
+
+// SessionConfig tunes the session-layer protocol behavior.
+type SessionConfig struct {
+	// HeaderBytes is the LSL session header size sent at the front of
+	// every sublink stream (default 64: magic, version, session ID, route).
+	HeaderBytes int64
+	// TrailerBytes is the end-to-end integrity trailer (default 16: MD5).
+	TrailerBytes int64
+	// ConfirmedSetup makes the source wait for an end-to-end session
+	// accept before sending payload (default behavior of the prototype's
+	// synchronous mode). When false the source streams eagerly and depot
+	// buffers absorb data while the tail of the cascade is still dialing.
+	ConfirmedSetup bool
+	// Depot configures every intermediate depot.
+	Depot DepotConfig
+}
+
+// DefaultSessionConfig returns the prototype's synchronous-session settings.
+func DefaultSessionConfig() SessionConfig {
+	return SessionConfig{
+		HeaderBytes:    64,
+		TrailerBytes:   16,
+		ConfirmedSetup: true,
+		Depot:          DepotConfig{}.withDefaults(),
+	}
+}
+
+func (s SessionConfig) withDefaults() SessionConfig {
+	if s.HeaderBytes == 0 {
+		s.HeaderBytes = 64
+	}
+	if s.TrailerBytes == 0 {
+		s.TrailerBytes = 16
+	}
+	s.Depot = s.Depot.withDefaults()
+	return s
+}
+
+// Result summarizes one cascaded transfer.
+type Result struct {
+	Bytes  int64
+	Start  netsim.Time
+	Done   netsim.Time
+	Conns  []*tcpsim.Conn
+	Traces []*trace.Recorder
+	Depots []*Depot
+	// AcceptAt is when the end-to-end session accept reached the source
+	// (zero when ConfirmedSetup is off).
+	AcceptAt netsim.Time
+}
+
+// Seconds returns the wall-clock duration, session initiation to sink EOF.
+func (r Result) Seconds() float64 { return (r.Done - r.Start).Seconds() }
+
+// Mbps returns payload goodput in megabits per second.
+func (r Result) Mbps() float64 {
+	s := r.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / s / 1e6
+}
+
+// Depot is the simulated forwarding engine between two sublinks.
+type Depot struct {
+	Name string
+
+	e    *netsim.Engine
+	cfg  DepotConfig
+	sess SessionConfig
+	in   *tcpsim.Conn
+	out  *tcpsim.Conn
+
+	headerPending int64 // inbound session header bytes still to strip
+	headerToSend  int64 // outbound header bytes still to write
+	buffered      int64 // bytes held: current chunk + processing + ready
+	chunkFill     int64 // bytes accumulated in the current chunk
+	ready         int64 // processed bytes eligible to write downstream
+	closedOut     bool
+	dialNext      func() // supplied by the session builder
+
+	// MaxBuffered is the high-water mark of the depot's buffer occupancy —
+	// evidence that LSL needs only small, short-lived allocations.
+	MaxBuffered int64
+	// BytesIn and BytesOut count payload traversals for the conservation
+	// invariant (in == out == size at completion).
+	BytesIn  int64
+	BytesOut int64
+}
+
+// Buffered returns the depot's current buffer occupancy.
+func (d *Depot) Buffered() int64 { return d.buffered }
+
+// pump moves bytes from the upstream connection into the depot buffer.
+func (d *Depot) pump() {
+	// Strip the inbound session header first.
+	for d.headerPending > 0 {
+		n := d.in.AppRead(d.headerPending)
+		if n == 0 {
+			return
+		}
+		d.headerPending -= n
+		if d.headerPending == 0 && d.dialNext != nil {
+			dial := d.dialNext
+			d.dialNext = nil
+			d.e.Schedule(d.cfg.SetupDelay, dial)
+		}
+	}
+	// Accumulate into the current store-and-forward chunk. A chunk is not
+	// eligible for downstream transmission until it is complete (or the
+	// stream ends), matching the prototype's user-level read/forward loop.
+	// This granularity is why very small transfers see no pipelining and
+	// lose to direct TCP (paper Figure 5's 32K point).
+	for d.in.Available() > 0 && d.buffered < d.cfg.BufferCap {
+		n := d.cfg.ChunkSize - d.chunkFill
+		if a := d.in.Available(); a < n {
+			n = a
+		}
+		if room := d.cfg.BufferCap - d.buffered; room < n {
+			n = room
+		}
+		n = d.in.AppRead(n)
+		if n == 0 {
+			return
+		}
+		d.buffered += n
+		d.chunkFill += n
+		d.BytesIn += n
+		if d.buffered > d.MaxBuffered {
+			d.MaxBuffered = d.buffered
+		}
+		if d.chunkFill == d.cfg.ChunkSize {
+			d.sealChunk()
+		}
+	}
+	// End of stream flushes a partial final chunk.
+	if d.chunkFill > 0 && d.in.FinReceived() && d.in.Available() == 0 {
+		d.sealChunk()
+	}
+	d.maybeClose()
+}
+
+// sealChunk hands the accumulated chunk to the forwarding stage; after the
+// processing delay it becomes writable downstream.
+func (d *Depot) sealChunk() {
+	chunk := d.chunkFill
+	d.chunkFill = 0
+	d.e.Schedule(d.cfg.ForwardDelay(), func() {
+		d.ready += chunk
+		d.flush()
+	})
+}
+
+// flush writes processed bytes into the downstream connection.
+func (d *Depot) flush() {
+	if d.out == nil || !d.out.Established() {
+		return
+	}
+	for d.headerToSend > 0 {
+		n := d.out.AppWrite(d.headerToSend)
+		if n == 0 {
+			return
+		}
+		d.headerToSend -= n
+	}
+	for d.ready > 0 {
+		n := d.out.AppWrite(d.ready)
+		if n == 0 {
+			break
+		}
+		d.ready -= n
+		d.buffered -= n
+		d.BytesOut += n
+	}
+	// Freed buffer space may unblock upstream reads (and through TCP flow
+	// control, the upstream sender).
+	d.pump()
+	d.maybeClose()
+}
+
+// maybeClose propagates end-of-stream once upstream is exhausted and the
+// buffer has fully drained downstream.
+func (d *Depot) maybeClose() {
+	if d.closedOut || d.out == nil {
+		return
+	}
+	if d.in.FinReceived() && d.in.Available() == 0 && d.buffered == 0 && d.chunkFill == 0 && d.ready == 0 && d.headerToSend == 0 {
+		d.closedOut = true
+		d.out.CloseWrite()
+	}
+}

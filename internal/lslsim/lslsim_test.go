@@ -1,0 +1,354 @@
+package lslsim
+
+import (
+	"testing"
+
+	"lsl/internal/netsim"
+	"lsl/internal/tcpsim"
+)
+
+const ms = netsim.Millisecond
+
+// twoHopTopo builds a symmetric two-hop cascade topology and the matching
+// direct end-to-end paths over the same links.
+type topo struct {
+	e *netsim.Engine
+	// backbone links shared by direct path and sublinks
+	b1f, b1r, b2f, b2r   *netsim.Link
+	directFwd, directRev *netsim.Path
+	hop1, hop2           Hop
+}
+
+func makeTopo(seed int64, rate float64, d1, d2 netsim.Time, loss float64) *topo {
+	e := netsim.NewEngine(seed)
+	t := &topo{e: e}
+	t.b1f = netsim.NewLink(e, "b1f", rate, d1, 256<<10, loss)
+	t.b1r = netsim.NewLink(e, "b1r", 0, d1, 0, 0)
+	t.b2f = netsim.NewLink(e, "b2f", rate, d2, 256<<10, loss)
+	t.b2r = netsim.NewLink(e, "b2r", 0, d2, 0, 0)
+	t.directFwd = netsim.NewPath(e, t.b1f, t.b2f)
+	t.directRev = netsim.NewPath(e, t.b2r, t.b1r)
+	cfg := tcpsim.DefaultConfig()
+	t.hop1 = Hop{Name: "sub1", Fwd: netsim.NewPath(e, t.b1f), Rev: netsim.NewPath(e, t.b1r), TCP: cfg}
+	t.hop2 = Hop{Name: "sub2", Fwd: netsim.NewPath(e, t.b2f), Rev: netsim.NewPath(e, t.b2r), TCP: cfg}
+	return t
+}
+
+func TestCascadeDeliversExactPayload(t *testing.T) {
+	tp := makeTopo(1, 5e7, 10*ms, 12*ms, 0)
+	res := RunCascade(tp.e, []Hop{tp.hop1, tp.hop2}, DefaultSessionConfig(), 1<<20)
+	if res.Bytes != 1<<20 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+	if res.Done <= res.Start {
+		t.Fatal("no completion time")
+	}
+}
+
+func TestCascadeConservation(t *testing.T) {
+	tp := makeTopo(2, 5e7, 10*ms, 12*ms, 0.001)
+	size := int64(4 << 20)
+	sess := DefaultSessionConfig()
+	res := RunCascade(tp.e, []Hop{tp.hop1, tp.hop2}, sess, size)
+	if len(res.Depots) != 1 {
+		t.Fatalf("depots=%d", len(res.Depots))
+	}
+	d := res.Depots[0]
+	want := size + sess.TrailerBytes
+	if d.BytesIn != want || d.BytesOut != want {
+		t.Fatalf("conservation violated: in=%d out=%d want %d", d.BytesIn, d.BytesOut, want)
+	}
+	if d.Buffered() != 0 {
+		t.Fatalf("depot retains %d bytes after completion", d.Buffered())
+	}
+}
+
+func TestCascadeDepotBufferBounded(t *testing.T) {
+	tp := makeTopo(3, 5e7, 5*ms, 5*ms, 0)
+	sess := DefaultSessionConfig()
+	sess.Depot.BufferCap = 256 << 10
+	res := RunCascade(tp.e, []Hop{tp.hop1, tp.hop2}, sess, 8<<20)
+	if res.Bytes != 8<<20 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+	if res.Depots[0].MaxBuffered > 256<<10 {
+		t.Fatalf("buffer exceeded cap: %d", res.Depots[0].MaxBuffered)
+	}
+}
+
+// The depot buffer must throttle a fast first hop feeding a slow second
+// hop via TCP flow control, not grow without bound.
+func TestCascadeBackpressureFastIntoSlow(t *testing.T) {
+	e := netsim.NewEngine(4)
+	cfg := tcpsim.DefaultConfig()
+	f1 := netsim.NewLink(e, "f1", 1e9, 2*ms, 0, 0) // 1 Gbps feeder
+	r1 := netsim.NewLink(e, "r1", 0, 2*ms, 0, 0)
+	f2 := netsim.NewLink(e, "f2", 5e6, 2*ms, 0, 0) // 5 Mbps drain
+	r2 := netsim.NewLink(e, "r2", 0, 2*ms, 0, 0)
+	hops := []Hop{
+		{Fwd: netsim.NewPath(e, f1), Rev: netsim.NewPath(e, r1), TCP: cfg},
+		{Fwd: netsim.NewPath(e, f2), Rev: netsim.NewPath(e, r2), TCP: cfg},
+	}
+	sess := DefaultSessionConfig()
+	sess.Depot.BufferCap = 512 << 10
+	res := RunCascade(e, hops, sess, 4<<20)
+	if res.Bytes != 4<<20 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+	if res.Depots[0].MaxBuffered > 512<<10 {
+		t.Fatalf("backpressure failed: max buffered %d", res.Depots[0].MaxBuffered)
+	}
+	// Throughput must be set by the slow hop.
+	if got := res.Mbps(); got > 5.1 {
+		t.Fatalf("throughput %v above drain rate", got)
+	}
+}
+
+func TestThreeDepotCascade(t *testing.T) {
+	e := netsim.NewEngine(5)
+	cfg := tcpsim.DefaultConfig()
+	var hops []Hop
+	for i := 0; i < 4; i++ {
+		f := netsim.NewLink(e, "f", 1e8, 5*ms, 0, 0)
+		r := netsim.NewLink(e, "r", 0, 5*ms, 0, 0)
+		hops = append(hops, Hop{Fwd: netsim.NewPath(e, f), Rev: netsim.NewPath(e, r), TCP: cfg})
+	}
+	res := RunCascade(e, hops, DefaultSessionConfig(), 2<<20)
+	if res.Bytes != 2<<20 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+	if len(res.Depots) != 3 {
+		t.Fatalf("depots=%d", len(res.Depots))
+	}
+	for _, d := range res.Depots {
+		if d.BytesIn != d.BytesOut {
+			t.Fatalf("%s: in=%d out=%d", d.Name, d.BytesIn, d.BytesOut)
+		}
+	}
+}
+
+func TestSingleHopSession(t *testing.T) {
+	e := netsim.NewEngine(6)
+	cfg := tcpsim.DefaultConfig()
+	f := netsim.NewLink(e, "f", 1e8, 5*ms, 0, 0)
+	r := netsim.NewLink(e, "r", 0, 5*ms, 0, 0)
+	hop := Hop{Fwd: netsim.NewPath(e, f), Rev: netsim.NewPath(e, r), TCP: cfg}
+	res := RunCascade(e, []Hop{hop}, DefaultSessionConfig(), 100000)
+	if res.Bytes != 100000 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+	if len(res.Depots) != 0 {
+		t.Fatal("single hop should have no depot")
+	}
+}
+
+func TestConfirmedSetupSlowerThanEagerSmall(t *testing.T) {
+	run := func(confirmed bool) float64 {
+		tp := makeTopo(7, 1e8, 15*ms, 15*ms, 0)
+		sess := DefaultSessionConfig()
+		sess.ConfirmedSetup = confirmed
+		return RunCascade(tp.e, []Hop{tp.hop1, tp.hop2}, sess, 32<<10).Seconds()
+	}
+	c := run(true)
+	eager := run(false)
+	if eager >= c {
+		t.Fatalf("eager (%v) should beat confirmed (%v) on small transfers", eager, c)
+	}
+}
+
+func TestAcceptRecorded(t *testing.T) {
+	tp := makeTopo(8, 1e8, 10*ms, 10*ms, 0)
+	res := RunCascade(tp.e, []Hop{tp.hop1, tp.hop2}, DefaultSessionConfig(), 1000)
+	if res.AcceptAt <= res.Start {
+		t.Fatal("accept time not recorded")
+	}
+	// Accept needs two serialized handshake+header exchanges (1.5 RTT per
+	// 20ms-RTT hop) plus the half-RTT-per-hop return: >= ~80ms.
+	if (res.AcceptAt - res.Start) < 75*ms {
+		t.Fatalf("accept too early: %v", res.AcceptAt-res.Start)
+	}
+}
+
+func TestCascadeWithLossCompletes(t *testing.T) {
+	tp := makeTopo(9, 3e7, 15*ms, 17*ms, 0.003)
+	res := RunCascade(tp.e, []Hop{tp.hop1, tp.hop2}, DefaultSessionConfig(), 4<<20)
+	if res.Bytes != 4<<20 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+	retx := res.Conns[0].Stats.Retransmits + res.Conns[1].Stats.Retransmits
+	if retx == 0 {
+		t.Fatal("expected some retransmissions")
+	}
+}
+
+func TestSublinkTracesRecorded(t *testing.T) {
+	tp := makeTopo(10, 5e7, 10*ms, 10*ms, 0)
+	sess := DefaultSessionConfig()
+	size := int64(1 << 20)
+	res := RunCascade(tp.e, []Hop{tp.hop1, tp.hop2}, sess, size)
+	if len(res.Traces) != 2 {
+		t.Fatalf("traces=%d", len(res.Traces))
+	}
+	want := sess.HeaderBytes + size + sess.TrailerBytes + 1 // +1 fin unit
+	for i, tr := range res.Traces {
+		if got := tr.TotalBytes(); got != want {
+			t.Fatalf("sublink%d trace bytes=%d want %d", i+1, got, want)
+		}
+	}
+	// Sublink 2 must start after sublink 1 (serialized setup).
+	s1 := res.Traces[0].SeqSeriesAt(res.Start)
+	s2 := res.Traces[1].SeqSeriesAt(res.Start)
+	if s2[0].X <= s1[0].X {
+		t.Fatalf("sublink2 started at %v, before sublink1 %v", s2[0].X, s1[0].X)
+	}
+}
+
+// The headline mechanism: on a lossy long-RTT path, the cascade beats the
+// direct connection for large transfers (paper Figures 6/8/28)...
+func TestCascadeBeatsDirectLargeTransfer(t *testing.T) {
+	direct := func() float64 {
+		tp := makeTopo(11, 3e7, 16*ms, 16*ms, 5e-4)
+		res := RunDirect(tp.e, tp.directFwd, tp.directRev, tcpsim.DefaultConfig(), 16<<20)
+		return res.Mbps()
+	}()
+	lsl := func() float64 {
+		tp := makeTopo(11, 3e7, 16*ms, 16*ms, 5e-4)
+		res := RunCascade(tp.e, []Hop{tp.hop1, tp.hop2}, DefaultSessionConfig(), 16<<20)
+		return res.Mbps()
+	}()
+	if lsl <= direct {
+		t.Fatalf("LSL (%v Mbps) should beat direct (%v Mbps)", lsl, direct)
+	}
+}
+
+// ...and loses for tiny transfers because of serialized connection setup
+// (paper Figure 5's 32K point).
+func TestCascadeLosesTinyTransfer(t *testing.T) {
+	direct := func() float64 {
+		tp := makeTopo(12, 3e7, 16*ms, 16*ms, 0)
+		return RunDirect(tp.e, tp.directFwd, tp.directRev, tcpsim.DefaultConfig(), 16<<10).Seconds()
+	}()
+	lsl := func() float64 {
+		tp := makeTopo(12, 3e7, 16*ms, 16*ms, 0)
+		return RunCascade(tp.e, []Hop{tp.hop1, tp.hop2}, DefaultSessionConfig(), 16<<10).Seconds()
+	}()
+	if lsl <= direct {
+		t.Fatalf("tiny transfer: LSL (%v s) should be slower than direct (%v s)", lsl, direct)
+	}
+}
+
+func TestDeterministicCascade(t *testing.T) {
+	run := func() float64 {
+		tp := makeTopo(13, 3e7, 15*ms, 15*ms, 0.001)
+		return RunCascade(tp.e, []Hop{tp.hop1, tp.hop2}, DefaultSessionConfig(), 2<<20).Seconds()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestDepotChunkGranularity(t *testing.T) {
+	tp := makeTopo(14, 5e7, 5*ms, 5*ms, 0)
+	sess := DefaultSessionConfig()
+	sess.Depot.ChunkSize = 8 << 10
+	res := RunCascade(tp.e, []Hop{tp.hop1, tp.hop2}, sess, 1<<20)
+	if res.Bytes != 1<<20 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+}
+
+func TestEagerModeDeliversExactly(t *testing.T) {
+	tp := makeTopo(21, 5e7, 10*ms, 10*ms, 0.001)
+	sess := DefaultSessionConfig()
+	sess.ConfirmedSetup = false
+	res := RunCascade(tp.e, []Hop{tp.hop1, tp.hop2}, sess, 2<<20)
+	if res.Bytes != 2<<20 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+	if res.AcceptAt != 0 {
+		t.Fatal("eager mode should not record an accept")
+	}
+	d := res.Depots[0]
+	if d.BytesIn != d.BytesOut {
+		t.Fatalf("conservation: %d vs %d", d.BytesIn, d.BytesOut)
+	}
+}
+
+func TestDepotForwardDelaySlowsSmallTransfers(t *testing.T) {
+	run := func(delay netsim.Time) float64 {
+		tp := makeTopo(22, 1e8, 10*ms, 10*ms, 0)
+		sess := DefaultSessionConfig()
+		sess.Depot.ForwardDelay = func() netsim.Time { return delay }
+		return RunCascade(tp.e, []Hop{tp.hop1, tp.hop2}, sess, 128<<10).Seconds()
+	}
+	fast := run(100 * netsim.Microsecond)
+	slow := run(20 * ms)
+	if slow <= fast {
+		t.Fatalf("forward delay should cost time: %v vs %v", slow, fast)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{Bytes: 1 << 20, Start: 0, Done: netsim.Second}
+	if r.Seconds() != 1 {
+		t.Fatalf("seconds=%v", r.Seconds())
+	}
+	if mbps := r.Mbps(); mbps < 8.38 || mbps > 8.39 {
+		t.Fatalf("mbps=%v", mbps)
+	}
+	empty := Result{}
+	if empty.Mbps() != 0 {
+		t.Fatal("degenerate result should be 0")
+	}
+}
+
+func TestCascadeSmallEndBuffersStillComplete(t *testing.T) {
+	// The paper notes gains are larger with limited end-host buffers; at
+	// minimum the cascade must function with tiny windows.
+	e := netsim.NewEngine(23)
+	cfg := tcpsim.DefaultConfig()
+	cfg.SendBuf = 32 << 10
+	cfg.RecvBuf = 32 << 10
+	f1 := netsim.NewLink(e, "f1", 1e8, 10*ms, 0, 0)
+	r1 := netsim.NewLink(e, "r1", 0, 10*ms, 0, 0)
+	f2 := netsim.NewLink(e, "f2", 1e8, 10*ms, 0, 0)
+	r2 := netsim.NewLink(e, "r2", 0, 10*ms, 0, 0)
+	hops := []Hop{
+		{Fwd: netsim.NewPath(e, f1), Rev: netsim.NewPath(e, r1), TCP: cfg},
+		{Fwd: netsim.NewPath(e, f2), Rev: netsim.NewPath(e, r2), TCP: cfg},
+	}
+	res := RunCascade(e, hops, DefaultSessionConfig(), 1<<20)
+	if res.Bytes != 1<<20 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+}
+
+// The paper's §IV-A remark quantified: with small end-host buffers the
+// direct connection is BDP-starved while each (shorter) sublink needs only
+// half the window, so LSL's advantage grows.
+func TestSmallBuffersAmplifyLSLGain(t *testing.T) {
+	run := func(buf int) (direct, cascade float64) {
+		tp := makeTopo(24, 1e8, 20*ms, 20*ms, 0)
+		cfg := tcpsim.DefaultConfig()
+		cfg.SendBuf, cfg.RecvBuf = buf, buf
+		dres := RunDirect(tp.e, tp.directFwd, tp.directRev, cfg, 8<<20)
+
+		tp2 := makeTopo(24, 1e8, 20*ms, 20*ms, 0)
+		h1, h2 := tp2.hop1, tp2.hop2
+		h1.TCP, h2.TCP = cfg, cfg
+		lres := RunCascade(tp2.e, []Hop{h1, h2}, DefaultSessionConfig(), 8<<20)
+		return dres.Mbps(), lres.Mbps()
+	}
+	dSmall, lSmall := run(128 << 10)
+	dBig, lBig := run(8 << 20)
+	gainSmall := lSmall / dSmall
+	gainBig := lBig / dBig
+	if gainSmall <= gainBig {
+		t.Fatalf("small-buffer gain (%.2f) should exceed big-buffer gain (%.2f)", gainSmall, gainBig)
+	}
+	// With 128K windows over a 40ms+40ms path, direct is window-limited to
+	// ~128K/80ms ≈ 13 Mbit/s while each sublink sustains ~26.
+	if dSmall > 15 {
+		t.Fatalf("direct with small buffers should be window-limited, got %.1f", dSmall)
+	}
+}

@@ -1,0 +1,75 @@
+package lslsim
+
+import (
+	"fmt"
+
+	"lsl/internal/netsim"
+	"lsl/internal/tcpsim"
+	"lsl/internal/trace"
+)
+
+// RunParallelDirect is the PSockets-style baseline the paper's related
+// work discusses (citation [22]): n concurrent end-to-end TCP connections
+// over the same paths, each carrying an equal share of the payload. It
+// captures aggregate bandwidth through parallelism at the *application*
+// level, against which LSL's in-network cascading can be compared (the
+// two are complementary: parallel streams divide the loss penalty across
+// sockets, cascading divides the RTT across hops).
+func RunParallelDirect(e *netsim.Engine, fwd, rev *netsim.Path, cfg tcpsim.Config, n int, size int64) Result {
+	if n <= 0 {
+		panic("lslsim: parallel stream count must be positive")
+	}
+	start := e.Now()
+	res := Result{Start: start}
+
+	remaining := size
+	share := size / int64(n)
+	finished := 0
+	for i := 0; i < n; i++ {
+		sz := share
+		if i == n-1 {
+			sz = remaining
+		}
+		remaining -= sz
+		rec := trace.New(fmt.Sprintf("stream%d", i+1))
+		c := tcpsim.Connect(e, fwd, rev, cfg)
+		c.Name = rec.Name
+		c.Trace = rec
+		res.Conns = append(res.Conns, c)
+		res.Traces = append(res.Traces, rec)
+
+		want := sz
+		var pushed int64
+		push := func() {
+			for pushed < want {
+				got := c.AppWrite(want - pushed)
+				if got == 0 {
+					return
+				}
+				pushed += got
+			}
+			c.CloseWrite()
+		}
+		c.OnEstablished(push)
+		c.OnSendSpace(push)
+		conn := c
+		eofSeen := false
+		c.OnDeliver(func() {
+			conn.AppRead(conn.Available())
+			if !eofSeen && conn.EOF() {
+				eofSeen = true
+				finished++
+				if finished == n {
+					res.Done = e.Now()
+				}
+			}
+		})
+	}
+
+	e.RunWhile(func() bool { return finished < n })
+	res.Bytes = 0
+	for _, c := range res.Conns {
+		res.Bytes += c.BytesReceived()
+	}
+	return res
+}

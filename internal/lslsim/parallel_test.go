@@ -1,0 +1,90 @@
+package lslsim
+
+import (
+	"testing"
+
+	"lsl/internal/netsim"
+	"lsl/internal/tcpsim"
+)
+
+func TestParallelDirectDeliversAll(t *testing.T) {
+	e := netsim.NewEngine(1)
+	f := netsim.NewLink(e, "f", 1e8, 10*ms, 0, 0)
+	r := netsim.NewLink(e, "r", 0, 10*ms, 0, 0)
+	res := RunParallelDirect(e, netsim.NewPath(e, f), netsim.NewPath(e, r),
+		tcpsim.DefaultConfig(), 4, 4<<20)
+	if res.Bytes != 4<<20 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+	if len(res.Conns) != 4 {
+		t.Fatalf("conns=%d", len(res.Conns))
+	}
+}
+
+func TestParallelDirectUnevenSplit(t *testing.T) {
+	e := netsim.NewEngine(2)
+	f := netsim.NewLink(e, "f", 1e8, 5*ms, 0, 0)
+	r := netsim.NewLink(e, "r", 0, 5*ms, 0, 0)
+	size := int64(1<<20 + 7) // not divisible by 3
+	res := RunParallelDirect(e, netsim.NewPath(e, f), netsim.NewPath(e, r),
+		tcpsim.DefaultConfig(), 3, size)
+	if res.Bytes != size {
+		t.Fatalf("bytes=%d want %d", res.Bytes, size)
+	}
+}
+
+func TestParallelDirectSingleEqualsDirect(t *testing.T) {
+	run := func(parallel bool) float64 {
+		e := netsim.NewEngine(3)
+		f := netsim.NewLink(e, "f", 5e7, 15*ms, 0, 0.001)
+		r := netsim.NewLink(e, "r", 0, 15*ms, 0, 0)
+		if parallel {
+			return RunParallelDirect(e, netsim.NewPath(e, f), netsim.NewPath(e, r),
+				tcpsim.DefaultConfig(), 1, 4<<20).Seconds()
+		}
+		return RunDirect(e, netsim.NewPath(e, f), netsim.NewPath(e, r),
+			tcpsim.DefaultConfig(), 4<<20).Seconds()
+	}
+	p, d := run(true), run(false)
+	// Same machinery, same seed: identical dynamics.
+	if p != d {
+		t.Fatalf("1-stream parallel %v != direct %v", p, d)
+	}
+}
+
+// The PSockets effect: on a lossy long path, parallel streams beat a
+// single connection because each stream's loss penalty is independent and
+// the aggregate window recovers n times faster.
+func TestParallelBeatsSingleUnderLoss(t *testing.T) {
+	run := func(n int) float64 {
+		e := netsim.NewEngine(4)
+		f := netsim.NewLink(e, "f", 1e8, 30*ms, 0, 5e-4)
+		r := netsim.NewLink(e, "r", 0, 30*ms, 0, 0)
+		cfg := tcpsim.DefaultConfig()
+		cfg.InitialSSThresh = 128 << 10
+		return RunParallelDirect(e, netsim.NewPath(e, f), netsim.NewPath(e, r), cfg, n, 32<<20).Mbps()
+	}
+	one := run(1)
+	four := run(4)
+	if four <= one*1.2 {
+		t.Fatalf("4 streams (%v) should clearly beat 1 (%v)", four, one)
+	}
+}
+
+func TestParallelTracesRecorded(t *testing.T) {
+	e := netsim.NewEngine(5)
+	f := netsim.NewLink(e, "f", 1e8, 5*ms, 0, 0)
+	r := netsim.NewLink(e, "r", 0, 5*ms, 0, 0)
+	res := RunParallelDirect(e, netsim.NewPath(e, f), netsim.NewPath(e, r),
+		tcpsim.DefaultConfig(), 2, 1<<20)
+	if len(res.Traces) != 2 {
+		t.Fatalf("traces=%d", len(res.Traces))
+	}
+	var total int64
+	for _, tr := range res.Traces {
+		total += tr.TotalBytes() - 1 // minus fin unit
+	}
+	if total != 1<<20 {
+		t.Fatalf("trace bytes=%d", total)
+	}
+}

@@ -1,0 +1,170 @@
+package lslsim
+
+import (
+	"fmt"
+
+	"lsl/internal/netsim"
+	"lsl/internal/tcpsim"
+	"lsl/internal/trace"
+)
+
+// RunCascade executes one synchronous LSL session transferring size payload
+// bytes across the given hops (1 hop = no depots, N hops = N-1 depots),
+// driving the engine until the sink has consumed the entire stream. The
+// returned Result carries per-sublink traces (named "sublink1", ...) for
+// the paper's sequence-growth analysis.
+func RunCascade(e *netsim.Engine, hops []Hop, sess SessionConfig, size int64) Result {
+	if len(hops) == 0 {
+		panic("lslsim: cascade needs at least one hop")
+	}
+	sess = sess.withDefaults()
+	start := e.Now()
+	n := len(hops)
+
+	res := Result{
+		Start:  start,
+		Conns:  make([]*tcpsim.Conn, n),
+		Traces: make([]*trace.Recorder, n),
+		Depots: make([]*Depot, 0, n-1),
+	}
+
+	// ---- sink (receiver side of the last hop) ----
+	sinkHeader := sess.HeaderBytes
+	expected := size + sess.TrailerBytes
+	var sinkRead int64
+	finished := false
+	sourceStart := func() {} // replaced below; invoked on session accept
+
+	sinkDeliver := func(c *tcpsim.Conn) {
+		for sinkHeader > 0 {
+			got := c.AppRead(sinkHeader)
+			if got == 0 {
+				return
+			}
+			sinkHeader -= got
+			if sinkHeader == 0 && sess.ConfirmedSetup {
+				// Session accept: control message returning to the source
+				// across every sublink's reverse direction.
+				var back netsim.Time
+				for _, h := range hops {
+					back += h.Rev.PropDelay()
+				}
+				at := e.Now() + back
+				e.At(at, func() {
+					res.AcceptAt = at
+					sourceStart()
+				})
+			}
+		}
+		sinkRead += c.AppRead(expected - sinkRead)
+		if !finished && sinkRead == expected && c.FinReceived() {
+			finished = true
+			res.Done = e.Now()
+		}
+	}
+
+	// ---- per-hop connection construction, serialized via depots ----
+	var buildHop func(i int) *tcpsim.Conn
+	buildHop = func(i int) *tcpsim.Conn {
+		rec := trace.New(fmt.Sprintf("sublink%d", i+1))
+		c := tcpsim.Connect(e, hops[i].Fwd, hops[i].Rev, hops[i].TCP)
+		c.Name = rec.Name
+		c.Trace = rec
+		res.Conns[i] = c
+		res.Traces[i] = rec
+		if i == n-1 {
+			c.OnDeliver(func() { sinkDeliver(c) })
+		}
+		return c
+	}
+
+	// Depots between hop i and hop i+1, created as headers arrive.
+	var makeDepot func(i int, in *tcpsim.Conn) *Depot
+	makeDepot = func(i int, in *tcpsim.Conn) *Depot {
+		d := &Depot{
+			Name:          fmt.Sprintf("depot%d", i+1),
+			e:             e,
+			cfg:           sess.Depot,
+			sess:          sess,
+			in:            in,
+			headerPending: sess.HeaderBytes,
+			headerToSend:  sess.HeaderBytes,
+		}
+		d.dialNext = func() {
+			out := buildHop(i + 1)
+			d.out = out
+			out.OnEstablished(func() { d.flush() })
+			out.OnSendSpace(func() { d.flush() })
+			if i+1 < n-1 {
+				nd := makeDepot(i+1, out)
+				out.OnDeliver(func() { nd.pump() })
+			}
+		}
+		in.OnDeliver(func() { d.pump() })
+		res.Depots = append(res.Depots, d)
+		return d
+	}
+
+	// ---- source ----
+	first := buildHop(0)
+	if n > 1 {
+		makeDepot(0, first)
+	} else {
+		sinkHeader = sess.HeaderBytes // header still flows end to end
+	}
+
+	var pushedHeader, pushedPayload int64
+	payloadAllowed := !sess.ConfirmedSetup
+	push := func() {
+		if !first.Established() {
+			return
+		}
+		for pushedHeader < sess.HeaderBytes {
+			got := first.AppWrite(sess.HeaderBytes - pushedHeader)
+			if got == 0 {
+				return
+			}
+			pushedHeader += got
+		}
+		if !payloadAllowed {
+			return
+		}
+		for pushedPayload < expected {
+			got := first.AppWrite(expected - pushedPayload)
+			if got == 0 {
+				return
+			}
+			pushedPayload += got
+		}
+		first.CloseWrite()
+	}
+	sourceStart = func() {
+		payloadAllowed = true
+		push()
+	}
+	first.OnEstablished(push)
+	first.OnSendSpace(push)
+
+	e.RunWhile(func() bool { return !finished })
+
+	res.Bytes = size
+	if !finished {
+		res.Bytes = sinkRead // deadlock diagnostics: short count, Done zero
+	}
+	return res
+}
+
+// RunDirect executes a plain end-to-end TCP transfer (the paper's baseline)
+// of size bytes over fwd/rev and returns the same Result shape, with a
+// single trace named "direct".
+func RunDirect(e *netsim.Engine, fwd, rev *netsim.Path, cfg tcpsim.Config, size int64) Result {
+	rec := trace.New("direct")
+	tr := tcpsim.Transfer(e, fwd, rev, cfg, size, rec)
+	return Result{
+		Bytes:  tr.Bytes,
+		Start:  tr.Start,
+		Done:   tr.Done,
+		Conns:  []*tcpsim.Conn{tr.Conn},
+		Traces: []*trace.Recorder{rec},
+	}
+}

@@ -1,0 +1,146 @@
+// Package netsim is a deterministic discrete-event network simulator: a
+// virtual clock with an event heap, plus links that model serialization
+// rate, propagation delay, drop-tail queueing, and random (Bernoulli)
+// segment loss.
+//
+// It is the substrate on which the TCP model (internal/tcpsim) and the
+// cascaded-session model (internal/lslsim) are built. The paper's testbed —
+// Abilene wide-area paths between UCSB, UIUC, UF, OSU and UTK — is
+// reproduced as netsim topologies in internal/experiments.
+//
+// Determinism: all randomness flows from the engine's seeded source, and
+// events scheduled for the same instant fire in scheduling order, so a
+// given seed always produces an identical simulation.
+package netsim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Convenient durations in simulated time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds converts a simulated time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis converts a simulated time to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts floating-point seconds into simulated Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation core: a clock and a pending-event heap.
+// It is not safe for concurrent use; simulations are single-goroutine by
+// design so that runs are reproducible.
+type Engine struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+	rng  *rand.Rand
+
+	// Processed counts events executed, useful for cost accounting in
+	// benchmarks.
+	Processed uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn after delay d (clamped to >= 0) of simulated time.
+func (e *Engine) Schedule(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// At runs fn at absolute simulated time t (no earlier than now).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the single earliest pending event. It reports whether an
+// event was executed (false means the heap is empty).
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.at
+	e.Processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.heap) > 0 && e.heap[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunWhile executes events until cond() reports false or no events remain.
+// cond is evaluated before each event.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}
+
+// Pending reports the number of events waiting in the heap.
+func (e *Engine) Pending() int { return len(e.heap) }

@@ -1,0 +1,164 @@
+package netsim
+
+// LinkStats counts a link's traffic for analysis and tests.
+type LinkStats struct {
+	Packets    uint64 // packets accepted for transmission
+	Bytes      uint64 // bytes accepted for transmission
+	QueueDrops uint64 // packets dropped because the drop-tail queue was full
+	RandomLoss uint64 // packets lost to the Bernoulli wire-loss process
+	Delivered  uint64 // packets that reached the far end
+	MaxBacklog int    // high-water mark of queued bytes
+}
+
+// Link models one unidirectional hop: a serializing transmitter feeding a
+// propagation delay, with a drop-tail output queue and optional random
+// loss. The queue is modeled implicitly: the transmitter's busy horizon
+// determines the backlog, and a packet that would push the backlog past
+// QueueCap bytes is dropped.
+type Link struct {
+	Name string
+
+	// RateBps is the serialization rate in bits per second. Zero means
+	// infinitely fast (no serialization delay, no queueing).
+	RateBps float64
+
+	// Delay is the one-way propagation delay.
+	Delay Time
+
+	// QueueCap is the drop-tail queue capacity in bytes (backlog awaiting
+	// serialization). Zero means unlimited.
+	QueueCap int
+
+	// LossProb is the probability that a transmitted packet is lost on the
+	// wire (checked after queueing, so lost packets still consumed link
+	// capacity, like corruption on a real link).
+	LossProb float64
+
+	Stats LinkStats
+
+	engine    *Engine
+	busyUntil Time
+	queued    int // bytes waiting behind the packet in service
+}
+
+// NewLink builds a link attached to engine e.
+func NewLink(e *Engine, name string, rateBps float64, delay Time, queueCap int, lossProb float64) *Link {
+	return &Link{Name: name, RateBps: rateBps, Delay: delay, QueueCap: queueCap, LossProb: lossProb, engine: e}
+}
+
+// txTime returns the serialization time for size bytes.
+func (l *Link) txTime(size int) Time {
+	if l.RateBps <= 0 {
+		return 0
+	}
+	return Time(float64(size*8) / l.RateBps * float64(Second))
+}
+
+// Backlog returns the bytes queued behind the packet currently being
+// serialized (the classic drop-tail queue occupancy, excluding the packet
+// in service).
+func (l *Link) Backlog() int { return l.queued }
+
+// Send offers a packet of size bytes to the link. deliver runs at the far
+// end after serialization and propagation unless the packet is dropped
+// (queue overflow) or lost (random loss). The return value reports whether
+// the packet was accepted into the queue; random loss still returns true,
+// as the sender cannot observe it.
+func (l *Link) Send(size int, deliver func()) bool {
+	now := l.engine.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	if start > now { // packet must wait: it occupies the queue until service starts
+		if l.QueueCap > 0 && l.queued+size > l.QueueCap {
+			l.Stats.QueueDrops++
+			return false
+		}
+		l.queued += size
+		l.engine.At(start, func() { l.queued -= size })
+	}
+	done := start + l.txTime(size)
+	l.busyUntil = done
+	l.Stats.Packets++
+	l.Stats.Bytes += uint64(size)
+	if l.queued > l.Stats.MaxBacklog {
+		l.Stats.MaxBacklog = l.queued
+	}
+	if l.LossProb > 0 && l.engine.Rand().Float64() < l.LossProb {
+		l.Stats.RandomLoss++
+		return true
+	}
+	l.engine.At(done+l.Delay, func() {
+		l.Stats.Delivered++
+		deliver()
+	})
+	return true
+}
+
+// Path is an ordered sequence of links from one host to another. A packet
+// sent on a path traverses every link in order; loss at any hop discards
+// it. Paths are cheap descriptors: many paths may share links, which is how
+// the experiment topologies make the direct route and the LSL sublinks
+// contend for the same bottlenecks.
+type Path struct {
+	Links  []*Link
+	engine *Engine
+}
+
+// NewPath builds a path over links (all must belong to e).
+func NewPath(e *Engine, links ...*Link) *Path {
+	return &Path{Links: links, engine: e}
+}
+
+// Send pushes a packet of size bytes through every link in order and runs
+// deliver when it emerges from the last one. Dropped or lost packets simply
+// never deliver.
+func (p *Path) Send(size int, deliver func()) {
+	p.sendFrom(0, size, deliver)
+}
+
+func (p *Path) sendFrom(i int, size int, deliver func()) {
+	if i >= len(p.Links) {
+		deliver()
+		return
+	}
+	p.Links[i].Send(size, func() {
+		p.sendFrom(i+1, size, deliver)
+	})
+}
+
+// PropDelay returns the sum of the links' propagation delays (no
+// serialization or queueing), the floor of the one-way latency.
+func (p *Path) PropDelay() Time {
+	var d Time
+	for _, l := range p.Links {
+		d += l.Delay
+	}
+	return d
+}
+
+// BottleneckBps returns the lowest finite link rate on the path, or 0 if
+// every link is infinitely fast.
+func (p *Path) BottleneckBps() float64 {
+	var min float64
+	for _, l := range p.Links {
+		if l.RateBps > 0 && (min == 0 || l.RateBps < min) {
+			min = l.RateBps
+		}
+	}
+	return min
+}
+
+// LossProb returns the probability that a packet survives no hop, i.e. the
+// combined independent Bernoulli loss across links.
+func (p *Path) LossProb() float64 {
+	survive := 1.0
+	for _, l := range p.Links {
+		survive *= 1 - l.LossProb
+	}
+	return 1 - survive
+}
+
+// Engine returns the engine the path is bound to.
+func (p *Path) Engine() *Engine { return p.engine }

@@ -1,0 +1,373 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("now=%v", e.Now())
+	}
+}
+
+func TestScheduleAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	var fired Time
+	e.Schedule(5*Millisecond, func() { fired = e.Now() })
+	e.Run()
+	if fired != 5*Millisecond {
+		t.Fatalf("fired at %v", fired)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(3*Millisecond, func() { order = append(order, 3) })
+	e.Schedule(1*Millisecond, func() { order = append(order, 1) })
+	e.Schedule(2*Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order=%v", order)
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("not FIFO at same timestamp: %v", order)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(-5*Second, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestAtInPastRunsNow(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10*Millisecond, func() {
+		e.At(5*Millisecond, func() {
+			if e.Now() != 10*Millisecond {
+				t.Fatalf("past event ran at %v", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Schedule(1*Millisecond, func() { count++ })
+	e.Schedule(10*Millisecond, func() { count++ })
+	e.RunUntil(5 * Millisecond)
+	if count != 1 {
+		t.Fatalf("count=%d", count)
+	}
+	if e.Now() != 5*Millisecond {
+		t.Fatalf("now=%v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending=%d", e.Pending())
+	}
+}
+
+func TestRunWhileStops(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 0; i < 100; i++ {
+		e.Schedule(Time(i)*Millisecond, func() { count++ })
+	}
+	e.RunWhile(func() bool { return count < 10 })
+	if count != 10 {
+		t.Fatalf("count=%d", count)
+	}
+}
+
+func TestCascadedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	depth := 0
+	var recur func()
+	recur = func() {
+		depth++
+		if depth < 50 {
+			e.Schedule(Millisecond, recur)
+		}
+	}
+	e.Schedule(Millisecond, recur)
+	e.Run()
+	if depth != 50 {
+		t.Fatalf("depth=%d", depth)
+	}
+	if e.Now() != 50*Millisecond {
+		t.Fatalf("now=%v", e.Now())
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Fatalf("FromSeconds wrong: %v", FromSeconds(1.5))
+	}
+	if got := (250 * Millisecond).Seconds(); got != 0.25 {
+		t.Fatalf("Seconds()=%v", got)
+	}
+	if got := (2 * Millisecond).Millis(); got != 2 {
+		t.Fatalf("Millis()=%v", got)
+	}
+}
+
+func TestLinkDeliveryDelay(t *testing.T) {
+	e := NewEngine(1)
+	// 8 Mbit/s -> 1000 bytes takes 1ms serialization; +4ms propagation.
+	l := NewLink(e, "l", 8e6, 4*Millisecond, 0, 0)
+	var at Time
+	l.Send(1000, func() { at = e.Now() })
+	e.Run()
+	if at != 5*Millisecond {
+		t.Fatalf("delivered at %v, want 5ms", at)
+	}
+}
+
+func TestLinkInfiniteRate(t *testing.T) {
+	e := NewEngine(1)
+	l := NewLink(e, "l", 0, 3*Millisecond, 0, 0)
+	var at Time
+	l.Send(1<<20, func() { at = e.Now() })
+	e.Run()
+	if at != 3*Millisecond {
+		t.Fatalf("delivered at %v", at)
+	}
+}
+
+func TestLinkSerializationQueueing(t *testing.T) {
+	e := NewEngine(1)
+	l := NewLink(e, "l", 8e6, 0, 0, 0) // 1000B = 1ms
+	var times []Time
+	for i := 0; i < 3; i++ {
+		l.Send(1000, func() { times = append(times, e.Now()) })
+	}
+	e.Run()
+	want := []Time{1 * Millisecond, 2 * Millisecond, 3 * Millisecond}
+	for i, w := range want {
+		if times[i] != w {
+			t.Fatalf("times=%v", times)
+		}
+	}
+}
+
+func TestLinkDropTail(t *testing.T) {
+	e := NewEngine(1)
+	l := NewLink(e, "l", 8e6, 0, 2500, 0)
+	accepted := 0
+	for i := 0; i < 5; i++ {
+		if l.Send(1000, func() {}) {
+			accepted++
+		}
+	}
+	// First packet starts serializing immediately; backlog grows by ~1000
+	// per extra packet. Queue cap 2500 bytes allows first + 2 queued.
+	if accepted != 3 {
+		t.Fatalf("accepted=%d want 3", accepted)
+	}
+	if l.Stats.QueueDrops != 2 {
+		t.Fatalf("drops=%d", l.Stats.QueueDrops)
+	}
+	e.Run()
+	if l.Stats.Delivered != 3 {
+		t.Fatalf("delivered=%d", l.Stats.Delivered)
+	}
+}
+
+func TestLinkQueueDrainsOverTime(t *testing.T) {
+	e := NewEngine(1)
+	l := NewLink(e, "l", 8e6, 0, 1500, 0)
+	if !l.Send(1000, func() {}) {
+		t.Fatal("first send should be accepted")
+	}
+	if !l.Send(1000, func() {}) {
+		t.Fatal("second send fits in queue")
+	}
+	if l.Send(1000, func() {}) {
+		t.Fatal("third send should be dropped")
+	}
+	e.RunUntil(1500 * Microsecond) // first fully sent, second half-sent
+	if !l.Send(1000, func() {}) {
+		t.Fatal("after drain, send should succeed")
+	}
+}
+
+func TestLinkRandomLossCountsAndConsumesCapacity(t *testing.T) {
+	e := NewEngine(42)
+	l := NewLink(e, "l", 8e9, 0, 0, 0.5)
+	delivered := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		l.Send(1000, func() { delivered++ })
+	}
+	e.Run()
+	if l.Stats.RandomLoss == 0 {
+		t.Fatal("expected some random loss")
+	}
+	if got := l.Stats.RandomLoss + l.Stats.Delivered; got != n {
+		t.Fatalf("loss+delivered=%d want %d", got, n)
+	}
+	frac := float64(l.Stats.RandomLoss) / n
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("loss fraction %v far from 0.5", frac)
+	}
+}
+
+func TestLinkDeterminism(t *testing.T) {
+	run := func(seed int64) (uint64, Time) {
+		e := NewEngine(seed)
+		l := NewLink(e, "l", 8e6, Millisecond, 4000, 0.1)
+		var last Time
+		for i := 0; i < 500; i++ {
+			e.Schedule(Time(i)*100*Microsecond, func() {
+				l.Send(500, func() { last = e.Now() })
+			})
+		}
+		e.Run()
+		return l.Stats.Delivered, last
+	}
+	d1, t1 := run(7)
+	d2, t2 := run(7)
+	if d1 != d2 || t1 != t2 {
+		t.Fatalf("nondeterministic: (%d,%v) vs (%d,%v)", d1, t1, d2, t2)
+	}
+	d3, _ := run(8)
+	if d3 == 0 {
+		t.Fatal("sanity: other seed delivered nothing")
+	}
+}
+
+func TestPathTraversesAllLinks(t *testing.T) {
+	e := NewEngine(1)
+	a := NewLink(e, "a", 0, 2*Millisecond, 0, 0)
+	b := NewLink(e, "b", 0, 3*Millisecond, 0, 0)
+	p := NewPath(e, a, b)
+	var at Time
+	p.Send(100, func() { at = e.Now() })
+	e.Run()
+	if at != 5*Millisecond {
+		t.Fatalf("at=%v", at)
+	}
+	if p.PropDelay() != 5*Millisecond {
+		t.Fatalf("prop=%v", p.PropDelay())
+	}
+}
+
+func TestPathLossAtAnyHopDiscards(t *testing.T) {
+	e := NewEngine(3)
+	a := NewLink(e, "a", 0, 0, 0, 1.0) // always loses
+	b := NewLink(e, "b", 0, 0, 0, 0)
+	p := NewPath(e, a, b)
+	delivered := false
+	p.Send(100, func() { delivered = true })
+	e.Run()
+	if delivered {
+		t.Fatal("packet should have been lost at first hop")
+	}
+	if b.Stats.Packets != 0 {
+		t.Fatal("second hop should never see the packet")
+	}
+}
+
+func TestPathBottleneck(t *testing.T) {
+	e := NewEngine(1)
+	p := NewPath(e,
+		NewLink(e, "fast", 1e9, 0, 0, 0),
+		NewLink(e, "slow", 5e6, 0, 0, 0),
+		NewLink(e, "inf", 0, 0, 0, 0),
+	)
+	if p.BottleneckBps() != 5e6 {
+		t.Fatalf("bottleneck=%v", p.BottleneckBps())
+	}
+}
+
+func TestPathLossProbCombines(t *testing.T) {
+	e := NewEngine(1)
+	p := NewPath(e,
+		NewLink(e, "a", 0, 0, 0, 0.1),
+		NewLink(e, "b", 0, 0, 0, 0.1),
+	)
+	want := 1 - 0.9*0.9
+	if got := p.LossProb(); got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("loss=%v want %v", got, want)
+	}
+}
+
+func TestEmptyPathDeliversImmediately(t *testing.T) {
+	e := NewEngine(1)
+	p := NewPath(e)
+	done := false
+	p.Send(10, func() { done = true })
+	e.Run()
+	if !done || e.Now() != 0 {
+		t.Fatalf("done=%v now=%v", done, e.Now())
+	}
+}
+
+// Property: delivery time on a lossless path equals sum of propagation
+// delays plus sum of serialization times when the path is idle.
+func TestPathDelayProperty(t *testing.T) {
+	f := func(rates []uint32, delays []uint16, size uint16) bool {
+		n := len(rates)
+		if n == 0 || n > 6 || len(delays) < n || size == 0 {
+			return true
+		}
+		e := NewEngine(1)
+		links := make([]*Link, n)
+		var want Time
+		sz := int(size)
+		for i := 0; i < n; i++ {
+			rate := float64(rates[i]%1000+1) * 1e5 // 0.1..100 Mbps
+			d := Time(delays[i]%50) * Millisecond
+			links[i] = NewLink(e, "l", rate, d, 0, 0)
+			want += d + Time(float64(sz*8)/rate*float64(Second))
+		}
+		p := NewPath(e, links...)
+		var got Time = -1
+		p.Send(sz, func() { got = e.Now() })
+		e.Run()
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return got >= 0 && diff <= Time(n+1) // rounding slack per hop
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBacklogHighWaterMark(t *testing.T) {
+	e := NewEngine(1)
+	l := NewLink(e, "l", 8e6, 0, 0, 0)
+	for i := 0; i < 4; i++ {
+		l.Send(1000, func() {})
+	}
+	if l.Stats.MaxBacklog < 2000 {
+		t.Fatalf("max backlog %d too small", l.Stats.MaxBacklog)
+	}
+	e.Run()
+	if l.Backlog() != 0 {
+		t.Fatalf("backlog after drain = %d", l.Backlog())
+	}
+}

@@ -1,0 +1,288 @@
+// Package nws implements Network Weather Service-style performance
+// forecasting (Wolski, the paper's citation [32]): a bank of simple
+// time-series predictors runs over each measurement stream, the bank
+// tracks every predictor's cumulative error, and each forecast comes from
+// whichever predictor has been most accurate so far — the NWS "dynamic
+// predictor selection" idea.
+//
+// LSL clients and depots "are assumed to have network performance
+// information available from a system such as the Network Weather
+// Service, in order to make decisions about paths" (paper §III); package
+// route consumes these forecasts.
+package nws
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Forecaster consumes a measurement stream and predicts the next value.
+type Forecaster interface {
+	// Name identifies the method.
+	Name() string
+	// Update feeds one observation.
+	Update(v float64)
+	// Forecast predicts the next observation (NaN before any data).
+	Forecast() float64
+}
+
+// ---- individual predictors ----
+
+// lastValue predicts the most recent observation.
+type lastValue struct{ v, n float64 }
+
+func (f *lastValue) Name() string     { return "last" }
+func (f *lastValue) Update(v float64) { f.v, f.n = v, f.n+1 }
+func (f *lastValue) Forecast() float64 {
+	if f.n == 0 {
+		return math.NaN()
+	}
+	return f.v
+}
+
+// runningMean predicts the mean of the whole history.
+type runningMean struct {
+	sum float64
+	n   int
+}
+
+func (f *runningMean) Name() string     { return "running-mean" }
+func (f *runningMean) Update(v float64) { f.sum += v; f.n++ }
+func (f *runningMean) Forecast() float64 {
+	if f.n == 0 {
+		return math.NaN()
+	}
+	return f.sum / float64(f.n)
+}
+
+// slidingWindow keeps the last w observations.
+type slidingWindow struct {
+	w      int
+	buf    []float64
+	next   int
+	filled bool
+}
+
+func newWindow(w int) *slidingWindow { return &slidingWindow{w: w, buf: make([]float64, 0, w)} }
+
+func (f *slidingWindow) Update(v float64) {
+	if len(f.buf) < f.w {
+		f.buf = append(f.buf, v)
+		return
+	}
+	f.buf[f.next] = v
+	f.next = (f.next + 1) % f.w
+	f.filled = true
+}
+
+func (f *slidingWindow) values() []float64 { return f.buf }
+
+// slidingMean predicts the mean of the last w observations.
+type slidingMean struct{ *slidingWindow }
+
+// NewSlidingMean returns a mean-over-window predictor.
+func NewSlidingMean(w int) Forecaster { return &slidingMean{newWindow(w)} }
+
+func (f *slidingMean) Name() string { return fmt.Sprintf("mean-%d", f.w) }
+func (f *slidingMean) Forecast() float64 {
+	vs := f.values()
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// slidingMedian predicts the median of the last w observations — NWS's
+// robust choice for loss-spiky series.
+type slidingMedian struct{ *slidingWindow }
+
+// NewSlidingMedian returns a median-over-window predictor.
+func NewSlidingMedian(w int) Forecaster { return &slidingMedian{newWindow(w)} }
+
+func (f *slidingMedian) Name() string { return fmt.Sprintf("median-%d", f.w) }
+func (f *slidingMedian) Forecast() float64 {
+	vs := f.values()
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(vs))
+	copy(s, vs)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// expSmooth is exponential smoothing with gain alpha.
+type expSmooth struct {
+	alpha float64
+	v     float64
+	n     int
+}
+
+// NewExpSmooth returns an exponential-smoothing predictor.
+func NewExpSmooth(alpha float64) Forecaster { return &expSmooth{alpha: alpha} }
+
+func (f *expSmooth) Name() string { return fmt.Sprintf("exp-%.2f", f.alpha) }
+func (f *expSmooth) Update(v float64) {
+	if f.n == 0 {
+		f.v = v
+	} else {
+		f.v = f.alpha*v + (1-f.alpha)*f.v
+	}
+	f.n++
+}
+func (f *expSmooth) Forecast() float64 {
+	if f.n == 0 {
+		return math.NaN()
+	}
+	return f.v
+}
+
+// ---- dynamic predictor selection ----
+
+// Selector runs a bank of forecasters and answers with the one whose
+// cumulative squared error over the stream so far is lowest.
+type Selector struct {
+	mu    sync.Mutex
+	bank  []Forecaster
+	sse   []float64
+	count int
+}
+
+// DefaultBank mirrors the NWS predictor families: last value, running
+// mean, sliding means/medians at several windows, exponential smoothing at
+// several gains.
+func DefaultBank() []Forecaster {
+	return []Forecaster{
+		&lastValue{},
+		&runningMean{},
+		NewSlidingMean(5),
+		NewSlidingMean(10),
+		NewSlidingMean(30),
+		NewSlidingMedian(5),
+		NewSlidingMedian(10),
+		NewSlidingMedian(30),
+		NewExpSmooth(0.1),
+		NewExpSmooth(0.3),
+		NewExpSmooth(0.5),
+		NewExpSmooth(0.9),
+	}
+}
+
+// NewSelector builds a selector over bank (DefaultBank if empty).
+func NewSelector(bank ...Forecaster) *Selector {
+	if len(bank) == 0 {
+		bank = DefaultBank()
+	}
+	return &Selector{bank: bank, sse: make([]float64, len(bank))}
+}
+
+// Update scores every predictor against the new observation, then feeds it.
+func (s *Selector) Update(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, f := range s.bank {
+		p := f.Forecast()
+		if !math.IsNaN(p) {
+			d := p - v
+			s.sse[i] += d * d
+		}
+		f.Update(v)
+	}
+	s.count++
+}
+
+// best returns the index of the lowest-error predictor.
+func (s *Selector) best() int {
+	bi := 0
+	for i := range s.sse {
+		if s.sse[i] < s.sse[bi] {
+			bi = i
+		}
+	}
+	return bi
+}
+
+// Forecast returns the current best predictor's forecast (NaN before any
+// observation).
+func (s *Selector) Forecast() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return math.NaN()
+	}
+	return s.bank[s.best()].Forecast()
+}
+
+// BestName reports which predictor is currently winning.
+func (s *Selector) BestName() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bank[s.best()].Name()
+}
+
+// MSE returns the winning predictor's mean squared error so far.
+func (s *Selector) MSE() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return math.NaN()
+	}
+	return s.sse[s.best()] / float64(s.count)
+}
+
+// Errors exposes every predictor's cumulative squared error (for tests and
+// diagnostics), keyed by name.
+func (s *Selector) Errors() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64, len(s.bank))
+	for i, f := range s.bank {
+		out[f.Name()] = s.sse[i]
+	}
+	return out
+}
+
+// Series is a named measurement stream with its selector — e.g. the
+// forecast bandwidth of one candidate sublink.
+type Series struct {
+	Name     string
+	Selector *Selector
+	last     float64
+	n        int
+}
+
+// NewSeries builds a named stream with the default bank.
+func NewSeries(name string) *Series {
+	return &Series{Name: name, Selector: NewSelector()}
+}
+
+// Observe records a measurement.
+func (s *Series) Observe(v float64) {
+	s.Selector.Update(v)
+	s.last = v
+	s.n++
+}
+
+// Forecast predicts the next measurement.
+func (s *Series) Forecast() float64 { return s.Selector.Forecast() }
+
+// Len reports the number of observations.
+func (s *Series) Len() int { return s.n }
+
+// Last returns the most recent observation.
+func (s *Series) Last() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.last
+}

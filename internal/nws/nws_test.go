@@ -1,0 +1,192 @@
+package nws
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func feed(f Forecaster, vs ...float64) {
+	for _, v := range vs {
+		f.Update(v)
+	}
+}
+
+func TestLastValue(t *testing.T) {
+	f := &lastValue{}
+	if !math.IsNaN(f.Forecast()) {
+		t.Fatal("empty should be NaN")
+	}
+	feed(f, 1, 2, 3)
+	if f.Forecast() != 3 {
+		t.Fatalf("got %v", f.Forecast())
+	}
+}
+
+func TestRunningMean(t *testing.T) {
+	f := &runningMean{}
+	feed(f, 2, 4, 6)
+	if f.Forecast() != 4 {
+		t.Fatalf("got %v", f.Forecast())
+	}
+}
+
+func TestSlidingMeanWindow(t *testing.T) {
+	f := NewSlidingMean(3)
+	feed(f, 100, 1, 2, 3) // 100 falls out of the window
+	if got := f.Forecast(); got != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSlidingMedianOddEven(t *testing.T) {
+	f := NewSlidingMedian(5)
+	feed(f, 1, 9, 5)
+	if got := f.Forecast(); got != 5 {
+		t.Fatalf("odd: %v", got)
+	}
+	f2 := NewSlidingMedian(4)
+	feed(f2, 1, 2, 3, 10)
+	if got := f2.Forecast(); got != 2.5 {
+		t.Fatalf("even: %v", got)
+	}
+}
+
+func TestSlidingMedianRobustToSpike(t *testing.T) {
+	f := NewSlidingMedian(5)
+	feed(f, 10, 10, 1000, 10, 10)
+	if got := f.Forecast(); got != 10 {
+		t.Fatalf("median should shrug off the spike: %v", got)
+	}
+}
+
+func TestExpSmooth(t *testing.T) {
+	f := NewExpSmooth(0.5)
+	feed(f, 10)
+	if f.Forecast() != 10 {
+		t.Fatal("first value seeds the smoother")
+	}
+	feed(f, 20)
+	if f.Forecast() != 15 {
+		t.Fatalf("got %v", f.Forecast())
+	}
+}
+
+func TestForecasterNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range DefaultBank() {
+		n := f.Name()
+		if n == "" || seen[n] {
+			t.Fatalf("bad or duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestSelectorEmpty(t *testing.T) {
+	s := NewSelector()
+	if !math.IsNaN(s.Forecast()) {
+		t.Fatal("empty selector should be NaN")
+	}
+}
+
+func TestSelectorPicksLastForTrend(t *testing.T) {
+	// On a steadily rising series the last-value predictor has the lowest
+	// squared error among the bank.
+	s := NewSelector()
+	for i := 0; i < 200; i++ {
+		s.Update(float64(i))
+	}
+	if s.BestName() != "last" {
+		t.Fatalf("best=%s", s.BestName())
+	}
+	if got := s.Forecast(); got != 199 {
+		t.Fatalf("forecast=%v", got)
+	}
+}
+
+func TestSelectorPicksAveragerForNoise(t *testing.T) {
+	// On i.i.d. noise around a constant, averaging beats last-value.
+	s := NewSelector()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		s.Update(50 + rng.NormFloat64()*5)
+	}
+	errs := s.Errors()
+	if errs[s.BestName()] > errs["last"] {
+		t.Fatalf("selected %s with error above last-value", s.BestName())
+	}
+	if got := s.Forecast(); math.Abs(got-50) > 3 {
+		t.Fatalf("forecast=%v want ~50", got)
+	}
+}
+
+// The NWS selection invariant: the selected predictor's cumulative error
+// is minimal over the bank.
+func TestSelectorMinimalErrorProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		s := NewSelector()
+		for _, v := range raw {
+			s.Update(float64(v % 1000))
+		}
+		errs := s.Errors()
+		best := errs[s.BestName()]
+		for _, e := range errs {
+			if best > e+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectorMSE(t *testing.T) {
+	s := NewSelector()
+	if !math.IsNaN(s.MSE()) {
+		t.Fatal("empty MSE should be NaN")
+	}
+	for i := 0; i < 10; i++ {
+		s.Update(5)
+	}
+	if got := s.MSE(); got > 2.6 { // first prediction error only
+		t.Fatalf("constant series MSE=%v", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("bw:ucsb-denver")
+	if s.Len() != 0 || !math.IsNaN(s.Last()) {
+		t.Fatal("fresh series state")
+	}
+	s.Observe(10)
+	s.Observe(12)
+	if s.Len() != 2 || s.Last() != 12 {
+		t.Fatalf("len=%d last=%v", s.Len(), s.Last())
+	}
+	if math.IsNaN(s.Forecast()) {
+		t.Fatal("forecast should exist")
+	}
+}
+
+func TestSelectorConcurrentSafe(t *testing.T) {
+	s := NewSelector()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			s.Update(float64(i))
+		}
+		close(done)
+	}()
+	for i := 0; i < 1000; i++ {
+		s.Forecast()
+		s.BestName()
+	}
+	<-done
+}

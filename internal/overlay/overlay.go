@@ -1,0 +1,125 @@
+// Package overlay parses the textual depot-overlay description used by
+// cmd/lslplan (and usable by deployment tooling): a line-oriented format
+// declaring nodes (hosts and depots, optionally with dialable addresses)
+// and duplex edges with RTT, bandwidth and loss annotations.
+//
+//	# comments and blank lines are ignored
+//	node ucsb addr ucsb.example:7000
+//	node denver depot addr denver.example:5000
+//	node uiuc addr uiuc.example:7000
+//	edge ucsb denver 31 100 0.00025   # rtt_ms bandwidth_mbps loss
+//	edge denver uiuc 35 100 0.00025
+package overlay
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"lsl/internal/route"
+)
+
+// Parse reads an overlay description into a planning graph.
+func Parse(r io.Reader) (*route.Graph, error) {
+	g := route.NewGraph()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "node":
+			n, err := parseNode(f)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			g.AddNode(n)
+		case "edge":
+			from, to, m, err := parseEdge(f)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if err := g.AddDuplex(from, to, m); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func parseNode(f []string) (route.Node, error) {
+	if len(f) < 2 {
+		return route.Node{}, fmt.Errorf("node needs a name")
+	}
+	n := route.Node{ID: route.NodeID(f[1])}
+	for i := 2; i < len(f); i++ {
+		switch f[i] {
+		case "depot":
+			n.Depot = true
+		case "addr":
+			if i+1 >= len(f) {
+				return route.Node{}, fmt.Errorf("addr needs a value")
+			}
+			i++
+			n.Addr = f[i]
+		default:
+			return route.Node{}, fmt.Errorf("unknown node attribute %q", f[i])
+		}
+	}
+	return n, nil
+}
+
+func parseEdge(f []string) (from, to route.NodeID, m route.Metrics, err error) {
+	if len(f) != 6 {
+		return "", "", m, fmt.Errorf("edge wants: edge A B rtt_ms bandwidth_mbps loss")
+	}
+	rtt, err1 := strconv.ParseFloat(f[3], 64)
+	bw, err2 := strconv.ParseFloat(f[4], 64)
+	loss, err3 := strconv.ParseFloat(f[5], 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return "", "", m, fmt.Errorf("bad edge numbers")
+	}
+	if rtt < 0 || bw < 0 || loss < 0 || loss >= 1 {
+		return "", "", m, fmt.Errorf("edge values out of range")
+	}
+	return route.NodeID(f[1]), route.NodeID(f[2]), route.Metrics{
+		RTTSeconds:   rtt / 1000,
+		BandwidthBps: bw * 1e6,
+		LossProb:     loss,
+	}, nil
+}
+
+// Format renders a graph back into the textual form (diagnostics,
+// round-trip tooling). Nodes are emitted sorted; edges are not recoverable
+// from route.Graph's public surface, so Format covers nodes only and is
+// primarily for listings.
+func FormatNodes(g *route.Graph) string {
+	var b strings.Builder
+	for _, id := range g.Nodes() {
+		n, _ := g.Node(id)
+		fmt.Fprintf(&b, "node %s", n.ID)
+		if n.Depot {
+			b.WriteString(" depot")
+		}
+		if n.Addr != "" {
+			fmt.Fprintf(&b, " addr %s", n.Addr)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"lsl/internal/tcpmodel"
+)
+
+// Plan is a chosen session route with its predicted completion time.
+type Plan struct {
+	// Hops is the node sequence of session-layer hops: source, zero or
+	// more depots, destination. (Not the underlying router-level path.)
+	Hops []NodeID
+	// LegPaths holds the router-level node sequence of each session hop.
+	LegPaths [][]NodeID
+	// PredictedSeconds is the model's completion-time estimate.
+	PredictedSeconds float64
+	// DirectSeconds is the baseline direct-TCP estimate, for reporting the
+	// expected improvement.
+	DirectSeconds float64
+}
+
+// Improvement returns the predicted throughput gain of the plan over the
+// direct connection (0.6 = +60%).
+func (p Plan) Improvement() float64 {
+	if p.PredictedSeconds <= 0 {
+		return 0
+	}
+	return p.DirectSeconds/p.PredictedSeconds - 1
+}
+
+// UsesDepots reports whether the plan cascades through at least one depot.
+func (p Plan) UsesDepots() bool { return len(p.Hops) > 2 }
+
+// DepotDelaySeconds is the per-depot forwarding cost assumed by the
+// planner (header parsing, buffer copy, dial).
+const DepotDelaySeconds = 0.002
+
+// PlanTransfer picks the best session route for a size-byte transfer from
+// src to dst: it evaluates the direct connection and every single- and
+// two-depot cascade over the graph's depot nodes, using the analytic TCP
+// model on each leg's min-latency path. It returns the plan with the
+// smallest predicted completion time (which may be the direct one — LSL is
+// "voluntarily utilized ... can be employed selectively").
+func (g *Graph) PlanTransfer(src, dst NodeID, size int64) (Plan, error) {
+	directPath, _, err := g.MinLatencyPath(src, dst)
+	if err != nil {
+		return Plan{}, fmt.Errorf("route: no direct path %s->%s: %w", src, dst, err)
+	}
+	directLeg, err := g.legParams(directPath)
+	if err != nil {
+		return Plan{}, err
+	}
+	directSec := directLeg.TransferSeconds(size)
+
+	best := Plan{
+		Hops:             []NodeID{src, dst},
+		LegPaths:         [][]NodeID{directPath},
+		PredictedSeconds: directSec,
+		DirectSeconds:    directSec,
+	}
+
+	depots := g.depotList(src, dst)
+	// Single-depot cascades.
+	for _, d := range depots {
+		if plan, ok := g.tryCascade(src, dst, size, directSec, d); ok && plan.PredictedSeconds < best.PredictedSeconds {
+			best = plan
+		}
+	}
+	// Two-depot cascades.
+	for i, d1 := range depots {
+		for j, d2 := range depots {
+			if i == j {
+				continue
+			}
+			if plan, ok := g.tryCascade(src, dst, size, directSec, d1, d2); ok && plan.PredictedSeconds < best.PredictedSeconds {
+				best = plan
+			}
+		}
+	}
+	return best, nil
+}
+
+func (g *Graph) depotList(src, dst NodeID) []NodeID {
+	var out []NodeID
+	for _, id := range g.Nodes() {
+		n := g.nodes[id]
+		if n.Depot && id != src && id != dst {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// tryCascade evaluates src -> via... -> dst.
+func (g *Graph) tryCascade(src, dst NodeID, size int64, directSec float64, via ...NodeID) (Plan, bool) {
+	hops := append(append([]NodeID{src}, via...), dst)
+	var legs []tcpmodel.PathParams
+	var legPaths [][]NodeID
+	for i := 0; i+1 < len(hops); i++ {
+		path, _, err := g.MinLatencyPath(hops[i], hops[i+1])
+		if err != nil {
+			return Plan{}, false
+		}
+		leg, err := g.legParams(path)
+		if err != nil {
+			return Plan{}, false
+		}
+		legs = append(legs, leg)
+		legPaths = append(legPaths, path)
+	}
+	sec := tcpmodel.CascadeTransferSeconds(size, legs, DepotDelaySeconds)
+	return Plan{
+		Hops:             hops,
+		LegPaths:         legPaths,
+		PredictedSeconds: sec,
+		DirectSeconds:    directSec,
+	}, true
+}
+
+// Addrs resolves the plan's intermediate and final hops to dialable
+// addresses (skipping the source), for execution against the real stack.
+// Nodes without an Addr yield an error.
+func (p Plan) Addrs(g *Graph) (via []string, target string, err error) {
+	if len(p.Hops) < 2 {
+		return nil, "", fmt.Errorf("route: degenerate plan")
+	}
+	for _, id := range p.Hops[1:] {
+		n, ok := g.Node(id)
+		if !ok || n.Addr == "" {
+			return nil, "", fmt.Errorf("route: node %s has no address", id)
+		}
+		if id == p.Hops[len(p.Hops)-1] {
+			target = n.Addr
+		} else {
+			via = append(via, n.Addr)
+		}
+	}
+	return via, target, nil
+}
+
+// RankCandidates returns every evaluated plan (direct and cascades),
+// sorted by predicted completion time — diagnostic output for cmd tools.
+func (g *Graph) RankCandidates(src, dst NodeID, size int64) ([]Plan, error) {
+	directPath, _, err := g.MinLatencyPath(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	directLeg, err := g.legParams(directPath)
+	if err != nil {
+		return nil, err
+	}
+	directSec := directLeg.TransferSeconds(size)
+	plans := []Plan{{
+		Hops:             []NodeID{src, dst},
+		LegPaths:         [][]NodeID{directPath},
+		PredictedSeconds: directSec,
+		DirectSeconds:    directSec,
+	}}
+	for _, d := range g.depotList(src, dst) {
+		if p, ok := g.tryCascade(src, dst, size, directSec, d); ok {
+			plans = append(plans, p)
+		}
+	}
+	sort.Slice(plans, func(i, j int) bool {
+		return plans[i].PredictedSeconds < plans[j].PredictedSeconds
+	})
+	return plans, nil
+}

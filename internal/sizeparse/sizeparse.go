@@ -1,0 +1,54 @@
+// Package sizeparse parses and formats byte sizes with the binary suffixes
+// (K, M, G) used throughout the tools and experiment tables.
+package sizeparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse converts "64M", "32k", "1073741824" into bytes.
+func Parse(s string) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("sizeparse: empty size")
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'K', 'k':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'M', 'm':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'G', 'g':
+		mult, s = 1<<30, s[:len(s)-1]
+	case 'B', 'b':
+		s = s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sizeparse: %q: %v", s, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("sizeparse: negative size %d", n)
+	}
+	v := n * mult
+	if mult > 1 && v/mult != n {
+		return 0, fmt.Errorf("sizeparse: overflow")
+	}
+	return v, nil
+}
+
+// Format renders bytes with the largest exact binary suffix, matching the
+// paper's axis labels (e.g. 256K, 64M).
+func Format(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dG", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,67 @@
+package sizeparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseValid(t *testing.T) {
+	cases := map[string]int64{
+		"0":    0,
+		"1024": 1024,
+		"32K":  32 << 10,
+		"32k":  32 << 10,
+		"64M":  64 << 20,
+		"64m":  64 << 20,
+		"2G":   2 << 30,
+		"2g":   2 << 30,
+	}
+	for in, want := range cases {
+		got, err := Parse(in)
+		if err != nil || got != want {
+			t.Fatalf("Parse(%q)=%d,%v want %d", in, got, err, want)
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	for _, in := range []string{"", "M", "12Q", "abc", "-5", "-1K", "99999999999G"} {
+		if _, err := Parse(in); err == nil {
+			t.Fatalf("Parse(%q) accepted", in)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := map[int64]string{
+		0:          "0B",
+		100:        "100B",
+		32 << 10:   "32K",
+		1536 << 10: "1536K",
+		64 << 20:   "64M",
+		2 << 30:    "2G",
+	}
+	for in, want := range cases {
+		if got := Format(in); got != want {
+			t.Fatalf("Format(%d)=%q want %q", in, got, want)
+		}
+	}
+}
+
+// Property: Parse(Format(n)) == n.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw uint16, k uint8) bool {
+		n := int64(raw) << (10 * (k % 3)) // bytes, K-aligned, M-aligned
+		got, err := Parse(Format(n))
+		return err == nil && got == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatNonAligned(t *testing.T) {
+	if got := Format(1500); got != "1500B" {
+		t.Fatalf("Format(1500)=%q", got)
+	}
+}

@@ -1,0 +1,276 @@
+// Package stripe implements the paper's §VII future work: session-layer
+// framing and parallel TCP streams. A striped transfer carries one logical
+// byte stream over N concurrent LSL sessions ("stripes"), each of which
+// may take a different loose source route — combining the PSockets-style
+// parallel-socket idea the paper cites with LSL's multi-path routing.
+//
+// Framing rides *on top of* ordinary sessions, keeping the wire protocol
+// of package wire untouched: each stripe stream begins with a group
+// header naming the stripe group (the logical transfer) and this stripe's
+// index, and then carries length-prefixed frames tagged with their offset
+// in the logical stream. The receiver reassembles frames by offset.
+//
+// Layout per stripe stream:
+//
+//	group header: magic "LSLS" | version u8 | group [16] | index u8 | count u8 | totalLen u64
+//	frame:        offset u64 | length u32 | payload...
+//	(a zero-length frame marks the stripe's end)
+package stripe
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"lsl/internal/wire"
+)
+
+// Limits and sizes.
+const (
+	// MaxStripes bounds the fan-out of one group.
+	MaxStripes = 32
+	// DefaultFrameSize is the striping granularity.
+	DefaultFrameSize = 256 << 10
+	// groupHeaderLen: magic(4) version(1) group(16) index(1) count(1) total(8).
+	groupHeaderLen = 31
+	frameHeaderLen = 12
+)
+
+var magicStripe = [4]byte{'L', 'S', 'L', 'S'}
+
+// Errors.
+var (
+	ErrBadGroupHeader = errors.New("stripe: bad group header")
+	ErrFrameOverlap   = errors.New("stripe: overlapping or duplicate frame")
+	ErrShortStream    = errors.New("stripe: stream ended before declared length")
+)
+
+// GroupHeader opens each stripe stream.
+type GroupHeader struct {
+	Group    wire.SessionID // identifies the logical transfer
+	Index    uint8          // this stripe's number
+	Count    uint8          // total stripes in the group
+	TotalLen uint64         // logical stream length
+}
+
+// Encode serializes the group header.
+func (g *GroupHeader) Encode() []byte {
+	out := make([]byte, groupHeaderLen)
+	copy(out, magicStripe[:])
+	out[4] = wire.Version
+	copy(out[5:21], g.Group[:])
+	out[21] = g.Index
+	out[22] = g.Count
+	binary.BigEndian.PutUint64(out[23:31], g.TotalLen)
+	return out
+}
+
+// ReadGroupHeader decodes a group header from r.
+func ReadGroupHeader(r io.Reader) (*GroupHeader, error) {
+	buf := make([]byte, groupHeaderLen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadGroupHeader, err)
+	}
+	if string(buf[:4]) != string(magicStripe[:]) || buf[4] != wire.Version {
+		return nil, ErrBadGroupHeader
+	}
+	g := &GroupHeader{Index: buf[21], Count: buf[22]}
+	copy(g.Group[:], buf[5:21])
+	g.TotalLen = binary.BigEndian.Uint64(buf[23:31])
+	if g.Count == 0 || g.Count > MaxStripes || g.Index >= g.Count {
+		return nil, ErrBadGroupHeader
+	}
+	return g, nil
+}
+
+// writeFrame emits one offset-tagged frame.
+func writeFrame(w io.Writer, offset uint64, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint64(hdr[0:8], offset)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame header and returns (offset, length).
+func readFrame(r io.Reader) (uint64, uint32, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, err
+	}
+	return binary.BigEndian.Uint64(hdr[0:8]), binary.BigEndian.Uint32(hdr[8:12]), nil
+}
+
+// Send stripes src (of length total) across the given writers, frame by
+// frame round-robin, and finishes each stripe with an end frame. Writers
+// are typically core.Conn sessions dialed over different routes. frameSize
+// <= 0 uses DefaultFrameSize.
+//
+// Frames are distributed round-robin synchronously; with similarly fast
+// stripes this keeps them evenly loaded, and a slow stripe naturally
+// backpressures only its share.
+func Send(group wire.SessionID, writers []io.Writer, src io.Reader, total int64, frameSize int) error {
+	n := len(writers)
+	if n == 0 || n > MaxStripes {
+		return fmt.Errorf("stripe: %d stripes out of range", n)
+	}
+	if frameSize <= 0 {
+		frameSize = DefaultFrameSize
+	}
+	for i, w := range writers {
+		gh := &GroupHeader{Group: group, Index: uint8(i), Count: uint8(n), TotalLen: uint64(total)}
+		if _, err := w.Write(gh.Encode()); err != nil {
+			return fmt.Errorf("stripe %d: group header: %w", i, err)
+		}
+	}
+	buf := make([]byte, frameSize)
+	var offset int64
+	idx := 0
+	for offset < total {
+		want := int64(frameSize)
+		if rem := total - offset; rem < want {
+			want = rem
+		}
+		m, err := io.ReadFull(src, buf[:want])
+		if m > 0 {
+			if werr := writeFrame(writers[idx], uint64(offset), buf[:m]); werr != nil {
+				return fmt.Errorf("stripe %d: %w", idx, werr)
+			}
+			offset += int64(m)
+			idx = (idx + 1) % n
+		}
+		if err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return fmt.Errorf("%w: source ended at %d of %d", ErrShortStream, offset, total)
+			}
+			return err
+		}
+	}
+	for i, w := range writers {
+		if err := writeFrame(w, uint64(total), nil); err != nil {
+			return fmt.Errorf("stripe %d: end frame: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Receiver reassembles one stripe group into a contiguous stream. Attach
+// may be called concurrently from one goroutine per stripe; reassembly is
+// serialized internally.
+type Receiver struct {
+	mu      sync.Mutex
+	Header  *GroupHeader // from the first stripe attached
+	total   int64
+	written int64
+	// pending frames beyond the contiguous prefix, keyed by offset.
+	pending map[int64][]byte
+	out     io.Writer
+	joined  int
+}
+
+// NewReceiver builds a reassembler writing the logical stream into out.
+func NewReceiver(out io.Writer) *Receiver {
+	return &Receiver{
+		pending: make(map[int64][]byte),
+		out:     out,
+	}
+}
+
+// Attach consumes one stripe stream (blocking) and feeds its frames into
+// the reassembler. Call it once per stripe, typically on its own
+// goroutine.
+func (r *Receiver) Attach(stream io.Reader) error {
+	gh, err := ReadGroupHeader(stream)
+	if err != nil {
+		return err
+	}
+	if err := r.register(gh); err != nil {
+		return err
+	}
+	for {
+		off, length, err := readFrame(stream)
+		if err != nil {
+			return fmt.Errorf("stripe %d: %w", gh.Index, err)
+		}
+		if length == 0 {
+			if int64(off) != r.total {
+				return fmt.Errorf("stripe %d: end frame at %d, want %d", gh.Index, off, r.total)
+			}
+			return nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(stream, payload); err != nil {
+			return fmt.Errorf("stripe %d: frame body: %w", gh.Index, err)
+		}
+		if err := r.ingest(int64(off), payload); err != nil {
+			return err
+		}
+	}
+}
+
+// register validates stripe membership against the first-seen group.
+func (r *Receiver) register(gh *GroupHeader) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.Header == nil {
+		r.Header = gh
+		r.total = int64(gh.TotalLen)
+	} else {
+		if gh.Group != r.Header.Group || gh.Count != r.Header.Count || gh.TotalLen != r.Header.TotalLen {
+			return fmt.Errorf("stripe: inconsistent group header on stripe %d", gh.Index)
+		}
+	}
+	r.joined++
+	return nil
+}
+
+// ingest adds a frame, flushing any newly contiguous prefix.
+func (r *Receiver) ingest(off int64, payload []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off < r.written || (off != r.written && r.pending[off] != nil) {
+		return ErrFrameOverlap
+	}
+	if off == r.written {
+		if _, err := r.out.Write(payload); err != nil {
+			return err
+		}
+		r.written += int64(len(payload))
+		for {
+			next, ok := r.pending[r.written]
+			if !ok {
+				break
+			}
+			delete(r.pending, r.written)
+			if _, err := r.out.Write(next); err != nil {
+				return err
+			}
+			r.written += int64(len(next))
+		}
+		return nil
+	}
+	r.pending[off] = payload
+	return nil
+}
+
+// Complete reports whether the whole logical stream has been written out.
+func (r *Receiver) Complete() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.Header != nil && r.written == r.total && len(r.pending) == 0
+}
+
+// Written returns the contiguous bytes flushed so far.
+func (r *Receiver) Written() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.written
+}

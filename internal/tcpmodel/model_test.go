@@ -1,0 +1,182 @@
+package tcpmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMathisKnownValue(t *testing.T) {
+	// MSS 1460B, RTT 64ms, p=3e-4: ~12.9 Mbps.
+	got := MathisThroughputBps(1460, 0.064, 3e-4) / 1e6
+	if got < 11 || got < 0 || got > 15 {
+		t.Fatalf("mathis=%v Mbps", got)
+	}
+}
+
+func TestMathisRTTInverse(t *testing.T) {
+	a := MathisThroughputBps(1460, 0.100, 1e-3)
+	b := MathisThroughputBps(1460, 0.050, 1e-3)
+	if math.Abs(b/a-2) > 1e-9 {
+		t.Fatalf("halving RTT should double Mathis bound: %v vs %v", a, b)
+	}
+}
+
+func TestMathisLossSqrt(t *testing.T) {
+	a := MathisThroughputBps(1460, 0.1, 4e-4)
+	b := MathisThroughputBps(1460, 0.1, 1e-4)
+	if math.Abs(b/a-2) > 1e-9 {
+		t.Fatalf("quartering loss should double bound: %v vs %v", a, b)
+	}
+}
+
+func TestMathisNoLossInfinite(t *testing.T) {
+	if !math.IsInf(MathisThroughputBps(1460, 0.1, 0), 1) {
+		t.Fatal("zero loss should be unbounded")
+	}
+}
+
+func TestSteadyCappedByBottleneck(t *testing.T) {
+	p := PathParams{RTTSeconds: 0.064, BottleneckBps: 5e6, LossProb: 1e-6, MSSBytes: 1460}
+	if got := p.SteadyBps(); got != 5e6 {
+		t.Fatalf("steady=%v", got)
+	}
+}
+
+func TestSteadyCappedByLoss(t *testing.T) {
+	p := PathParams{RTTSeconds: 0.064, BottleneckBps: 1e9, LossProb: 3e-4, MSSBytes: 1460}
+	if got := p.SteadyBps(); got >= 1e9 || got < 5e6 {
+		t.Fatalf("steady=%v", got)
+	}
+}
+
+func TestTransferTimeMonotoneInSize(t *testing.T) {
+	p := PathParams{RTTSeconds: 0.064, BottleneckBps: 5e7, LossProb: 1e-4, MSSBytes: 1460, DelayedAcks: true}
+	prev := 0.0
+	for _, size := range []int64{32 << 10, 256 << 10, 1 << 20, 16 << 20, 64 << 20} {
+		got := p.TransferSeconds(size)
+		if got <= prev {
+			t.Fatalf("transfer time not monotone at %d: %v <= %v", size, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestTransferThroughputRisesWithSize(t *testing.T) {
+	p := PathParams{RTTSeconds: 0.064, BottleneckBps: 5e7, LossProb: 0, MSSBytes: 1460, DelayedAcks: true}
+	small := p.TransferBps(32 << 10)
+	large := p.TransferBps(64 << 20)
+	if small >= large {
+		t.Fatalf("slow start amortization missing: small=%v large=%v", small, large)
+	}
+	if large > 5e7*1.01 {
+		t.Fatalf("throughput above bottleneck: %v", large)
+	}
+}
+
+func TestSmallTransferRTTDominated(t *testing.T) {
+	p := PathParams{RTTSeconds: 0.064, BottleneckBps: 1e9, LossProb: 0, MSSBytes: 1460, DelayedAcks: true}
+	got := p.TransferSeconds(32 << 10)
+	// Setup 1.5 RTT + a few slow-start rounds: between 3 and 10 RTTs.
+	if got < 3*0.064 || got > 10*0.064 {
+		t.Fatalf("32K transfer %v s, want RTT-dominated", got)
+	}
+}
+
+func TestShorterRTTFasterTransfer(t *testing.T) {
+	long := PathParams{RTTSeconds: 0.064, BottleneckBps: 5e7, LossProb: 3e-4, MSSBytes: 1460, DelayedAcks: true}
+	short := long
+	short.RTTSeconds = 0.032
+	if short.TransferSeconds(16<<20) >= long.TransferSeconds(16<<20) {
+		t.Fatal("shorter RTT must be faster")
+	}
+}
+
+// The paper's core claim in model form: for large transfers on a lossy
+// long-RTT path, a two-hop cascade with half-RTT sublinks beats direct.
+func TestCascadeBeatsDirectLargeLossy(t *testing.T) {
+	direct := PathParams{RTTSeconds: 0.064, BottleneckBps: 5e7, LossProb: 3e-4, MSSBytes: 1460, DelayedAcks: true}
+	sub := PathParams{RTTSeconds: 0.032, BottleneckBps: 5e7, LossProb: 1.5e-4, MSSBytes: 1460, DelayedAcks: true}
+	size := int64(64 << 20)
+	dt := direct.TransferSeconds(size)
+	ct := CascadeTransferSeconds(size, []PathParams{sub, sub}, 0.001)
+	if ct >= dt {
+		t.Fatalf("cascade (%v) should beat direct (%v) at 64MB", ct, dt)
+	}
+}
+
+// ...and the flip side: at tiny sizes the serialized dual setup makes the
+// cascade slower (paper Figure 5's 32K point).
+func TestCascadeLosesSmallTransfers(t *testing.T) {
+	direct := PathParams{RTTSeconds: 0.064, BottleneckBps: 5e7, LossProb: 0, MSSBytes: 1460, DelayedAcks: true}
+	sub := PathParams{RTTSeconds: 0.035, BottleneckBps: 5e7, LossProb: 0, MSSBytes: 1460, DelayedAcks: true}
+	size := int64(8 << 10)
+	dt := direct.TransferSeconds(size)
+	ct := CascadeTransferSeconds(size, []PathParams{sub, sub}, 0.005)
+	if ct <= dt {
+		t.Fatalf("cascade (%v) should lose to direct (%v) at 8K", ct, dt)
+	}
+}
+
+func TestCascadeSingleHopEqualsDirect(t *testing.T) {
+	p := PathParams{RTTSeconds: 0.05, BottleneckBps: 1e7, LossProb: 1e-4, MSSBytes: 1460}
+	d := p.TransferSeconds(1 << 20)
+	c := CascadeTransferSeconds(1<<20, []PathParams{p}, 0.01)
+	if d != c {
+		t.Fatalf("single-hop cascade %v != direct %v", c, d)
+	}
+}
+
+func TestCascadeEmptyZero(t *testing.T) {
+	if CascadeTransferSeconds(1<<20, nil, 0) != 0 {
+		t.Fatal("empty cascade should be 0")
+	}
+}
+
+func TestZeroSize(t *testing.T) {
+	p := PathParams{RTTSeconds: 0.05, BottleneckBps: 1e7, MSSBytes: 1460}
+	if p.TransferSeconds(0) != 0 {
+		t.Fatal("zero size should take zero time")
+	}
+	if p.TransferBps(0) != 0 {
+		t.Fatal("zero size bps")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := PathParams{RTTSeconds: 0.05}
+	if p.mss() != 1460 || p.iw() != 2 {
+		t.Fatalf("defaults wrong: mss=%d iw=%v", p.mss(), p.iw())
+	}
+	if p.growthFactor() != 2 {
+		t.Fatal("no delayed acks -> factor 2")
+	}
+	p.DelayedAcks = true
+	if p.growthFactor() != 1.5 {
+		t.Fatal("delayed acks -> 1.5")
+	}
+}
+
+// Property: transfer time is monotone nonincreasing in bottleneck rate and
+// nondecreasing in RTT.
+func TestTransferMonotonicityProperty(t *testing.T) {
+	f := func(rttMs uint16, bwA, bwB uint32, sizeKB uint16) bool {
+		rtt := float64(rttMs%200+1) / 1000
+		a := float64(bwA%1000+1) * 1e5
+		b := float64(bwB%1000+1) * 1e5
+		if a > b {
+			a, b = b, a
+		}
+		size := int64(sizeKB%2048+1) << 10
+		slow := PathParams{RTTSeconds: rtt, BottleneckBps: a, MSSBytes: 1460, DelayedAcks: true}
+		fast := PathParams{RTTSeconds: rtt, BottleneckBps: b, MSSBytes: 1460, DelayedAcks: true}
+		if fast.TransferSeconds(size) > slow.TransferSeconds(size)+1e-9 {
+			return false
+		}
+		longer := PathParams{RTTSeconds: rtt * 2, BottleneckBps: a, MSSBytes: 1460, DelayedAcks: true}
+		return slow.TransferSeconds(size) <= longer.TransferSeconds(size)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

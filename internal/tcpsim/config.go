@@ -1,0 +1,144 @@
+// Package tcpsim models a TCP Reno/NewReno connection on top of the
+// discrete-event substrate in internal/netsim. It reproduces the
+// mechanisms the paper's analysis hinges on:
+//
+//   - RTT-clocked congestion window growth: slow start doubles (or grows
+//     1.5x with delayed ACKs) per round trip, congestion avoidance adds one
+//     segment per round trip — so halving the RTT of a hop doubles how fast
+//     the window opens and recovers (paper §V, §VI).
+//   - Loss response: fast retransmit/fast recovery on triple duplicate
+//     ACKs with NewReno partial-ACK handling, and RFC 6298 retransmission
+//     timeouts with exponential backoff.
+//   - Flow control: the receiver advertises its remaining buffer; a sink
+//     application that stops reading (an LSL depot with a full forwarding
+//     buffer) throttles the sender — the backpressure that keeps depot
+//     buffers "small and short-lived".
+//   - Connection setup: a SYN/SYN-ACK round trip precedes data, so the
+//     cost of cascaded connection establishment that hurts small LSL
+//     transfers (paper Figure 5) is captured.
+//
+// The model is byte-stream-accurate in sequence space but carries no
+// payload bytes: applications write and read counts. That keeps 512 MB
+// transfers (Figure 28) cheap to simulate while preserving every timing
+// and windowing behavior of interest.
+package tcpsim
+
+import "lsl/internal/netsim"
+
+// Config carries the tunables of a simulated connection. The zero value is
+// not useful; call DefaultConfig and adjust.
+type Config struct {
+	// MSS is the maximum segment payload in bytes.
+	MSS int
+	// HeaderBytes is the TCP/IP header overhead added to each segment and
+	// carried by pure ACKs.
+	HeaderBytes int
+	// SendBuf and RecvBuf are the socket buffer sizes in bytes. The paper's
+	// hosts used 8 MB buffers with window scaling.
+	SendBuf int
+	RecvBuf int
+	// InitialCwndSegments is the initial congestion window (RFC 2581-era
+	// Linux used 2 segments).
+	InitialCwndSegments int
+	// InitialSSThresh is the initial slow-start threshold in bytes; zero
+	// means "no threshold" (slow start until the first loss). Linux caches
+	// ssthresh in the route metrics, so repeated transfers between the
+	// same hosts — the paper ran 10-120 iterations per configuration —
+	// start with a realistic threshold instead of probing from scratch.
+	InitialSSThresh int
+	// DelayedAcks enables ACK-every-other-segment with a timeout.
+	DelayedAcks bool
+	// DelAckTimeout is the delayed-ACK timer (Linux ~40ms minimum).
+	DelAckTimeout netsim.Time
+	// MinRTO clamps the retransmission timer (Linux uses 200ms).
+	MinRTO netsim.Time
+	// MaxRTO caps exponential backoff.
+	MaxRTO netsim.Time
+	// InitialRTO applies before any RTT sample exists (RFC 6298: 1s,
+	// classic Linux: 3s for SYN).
+	InitialRTO netsim.Time
+	// SenderHostDelay, when non-nil, returns an extra processing delay the
+	// sending host imposes before each data segment emission. It delays
+	// delivery without inflating the connection's trace-measured RTT
+	// (emission is recorded after the delay), modeling copy/processing
+	// overhead at a depot forwarding onto its downstream sublink.
+	SenderHostDelay func() netsim.Time
+	// ReceiverHostDelay, when non-nil, returns an extra delay the receiving
+	// host imposes before each ACK emission. It inflates the sublink's
+	// trace-measured RTT, modeling the loaded depot host behind the
+	// paper's Figure 4 (+20 ms "load induced" RTT inflation).
+	ReceiverHostDelay func() netsim.Time
+	// PersistInterval is the zero-window probe interval.
+	PersistInterval netsim.Time
+	// DisableSACK turns off selective acknowledgments, falling back to
+	// NewReno-only recovery. The paper's Linux 2.4 hosts had SACK enabled
+	// by default; disabling it is exposed for the ablation benchmarks
+	// (burst loss then costs one round trip per lost segment).
+	DisableSACK bool
+}
+
+// DefaultConfig mirrors the paper's experimental hosts: Linux 2.4-era TCP
+// with large (8 MB) windows, 1460-byte MSS, delayed ACKs.
+func DefaultConfig() Config {
+	return Config{
+		MSS:                 1460,
+		HeaderBytes:         40,
+		SendBuf:             8 << 20,
+		RecvBuf:             8 << 20,
+		InitialCwndSegments: 2,
+		DelayedAcks:         true,
+		DelAckTimeout:       40 * netsim.Millisecond,
+		MinRTO:              200 * netsim.Millisecond,
+		MaxRTO:              60 * netsim.Second,
+		InitialRTO:          1 * netsim.Second,
+		PersistInterval:     200 * netsim.Millisecond,
+	}
+}
+
+// withDefaults fills in zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MSS == 0 {
+		c.MSS = d.MSS
+	}
+	if c.HeaderBytes == 0 {
+		c.HeaderBytes = d.HeaderBytes
+	}
+	if c.SendBuf == 0 {
+		c.SendBuf = d.SendBuf
+	}
+	if c.RecvBuf == 0 {
+		c.RecvBuf = d.RecvBuf
+	}
+	if c.InitialCwndSegments == 0 {
+		c.InitialCwndSegments = d.InitialCwndSegments
+	}
+	if c.DelAckTimeout == 0 {
+		c.DelAckTimeout = d.DelAckTimeout
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = d.MinRTO
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = d.MaxRTO
+	}
+	if c.InitialRTO == 0 {
+		c.InitialRTO = d.InitialRTO
+	}
+	if c.PersistInterval == 0 {
+		c.PersistInterval = d.PersistInterval
+	}
+	return c
+}
+
+// Stats aggregates counters the analysis and tests assert on.
+type Stats struct {
+	SegmentsSent    uint64
+	Retransmits     uint64
+	Timeouts        uint64
+	FastRecoveries  uint64
+	AcksReceived    uint64
+	DupAcksReceived uint64
+	BytesAcked      int64
+	RTTSamples      int
+}

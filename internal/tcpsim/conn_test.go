@@ -1,0 +1,473 @@
+package tcpsim
+
+import (
+	"math"
+	"testing"
+
+	"lsl/internal/netsim"
+	"lsl/internal/trace"
+)
+
+const ms = netsim.Millisecond
+
+// symPath builds a forward and reverse path over a single fresh link each,
+// with the given rate, one-way delay and loss.
+func symPath(e *netsim.Engine, rateBps float64, oneWay netsim.Time, queueCap int, loss float64) (fwd, rev *netsim.Path) {
+	f := netsim.NewLink(e, "fwd", rateBps, oneWay, queueCap, loss)
+	r := netsim.NewLink(e, "rev", 0, oneWay, 0, 0)
+	return netsim.NewPath(e, f), netsim.NewPath(e, r)
+}
+
+func cleanCfg() Config {
+	cfg := DefaultConfig()
+	return cfg
+}
+
+func TestHandshakeTakesOneRTT(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 0, 10*ms, 0, 0)
+	c := Connect(e, fwd, rev, cleanCfg())
+	var at netsim.Time = -1
+	c.OnEstablished(func() { at = e.Now() })
+	e.Run()
+	if at != 20*ms {
+		t.Fatalf("established at %v, want 20ms", at)
+	}
+}
+
+func TestOnEstablishedAfterTheFact(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 0, ms, 0, 0)
+	c := Connect(e, fwd, rev, cleanCfg())
+	e.Run()
+	called := false
+	c.OnEstablished(func() { called = true })
+	if !called {
+		t.Fatal("late OnEstablished should fire immediately")
+	}
+}
+
+func TestSmallTransferDelivers(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 1e8, 5*ms, 0, 0)
+	res := Transfer(e, fwd, rev, cleanCfg(), 10000, nil)
+	if res.Bytes != 10000 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+	if res.Seconds() <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+func TestZeroLossNoRetransmits(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 1e8, 5*ms, 0, 0)
+	res := Transfer(e, fwd, rev, cleanCfg(), 1<<20, nil)
+	if res.Conn.Stats.Retransmits != 0 {
+		t.Fatalf("retransmits=%d on lossless path", res.Conn.Stats.Retransmits)
+	}
+	if res.Conn.Stats.Timeouts != 0 {
+		t.Fatalf("timeouts=%d", res.Conn.Stats.Timeouts)
+	}
+}
+
+func TestTransferWithLossCompletes(t *testing.T) {
+	e := netsim.NewEngine(7)
+	fwd, rev := symPath(e, 1e8, 5*ms, 0, 0.01)
+	res := Transfer(e, fwd, rev, cleanCfg(), 1<<20, nil)
+	if res.Bytes != 1<<20 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+	if res.Conn.Stats.Retransmits == 0 {
+		t.Fatal("expected retransmissions at 1% loss")
+	}
+}
+
+func TestHeavyLossCompletes(t *testing.T) {
+	e := netsim.NewEngine(3)
+	fwd, rev := symPath(e, 1e8, 2*ms, 0, 0.10)
+	res := Transfer(e, fwd, rev, cleanCfg(), 200000, nil)
+	if res.Bytes != 200000 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+}
+
+func TestAckPathLossCompletes(t *testing.T) {
+	e := netsim.NewEngine(5)
+	f := netsim.NewLink(e, "fwd", 1e8, 3*ms, 0, 0.01)
+	r := netsim.NewLink(e, "rev", 0, 3*ms, 0, 0.05) // lossy ACK channel
+	res := Transfer(e, netsim.NewPath(e, f), netsim.NewPath(e, r), cleanCfg(), 500000, nil)
+	if res.Bytes != 500000 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+}
+
+func TestSlowStartGrowthRate(t *testing.T) {
+	// With delayed ACKs, slow start grows the window ~1.5x per RTT, so a
+	// transfer of S bytes over an uncongested path should take roughly
+	// log_1.5(S/(IW*MSS)) RTTs plus handshake.
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 1e9, 20*ms, 0, 0) // RTT 40ms
+	res := Transfer(e, fwd, rev, cleanCfg(), 1<<20, nil)
+	rtts := res.Seconds() / 0.040
+	// Analytic estimate: sum of IW*1.5^k >= S/MSS -> about 13-17 rounds
+	// including handshake and drain.
+	if rtts < 8 || rtts > 22 {
+		t.Fatalf("transfer took %.1f RTTs, outside slow-start band", rtts)
+	}
+}
+
+func TestRTTHalvingSpeedsSlowStart(t *testing.T) {
+	run := func(oneWay netsim.Time) float64 {
+		e := netsim.NewEngine(1)
+		fwd, rev := symPath(e, 1e9, oneWay, 0, 0)
+		return Transfer(e, fwd, rev, cleanCfg(), 4<<20, nil).Seconds()
+	}
+	long := run(32 * ms)
+	short := run(16 * ms)
+	ratio := long / short
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("halving RTT should ~halve slow-start-dominated time; ratio=%v", ratio)
+	}
+}
+
+func TestFastRetransmitOnLoss(t *testing.T) {
+	e := netsim.NewEngine(11)
+	fwd, rev := symPath(e, 1e8, 10*ms, 0, 0.002)
+	res := Transfer(e, fwd, rev, cleanCfg(), 8<<20, nil)
+	if res.Conn.Stats.FastRecoveries == 0 {
+		t.Fatal("expected at least one fast recovery")
+	}
+	// Fast retransmit should handle most losses without RTO at this rate.
+	if res.Conn.Stats.Timeouts > res.Conn.Stats.FastRecoveries {
+		t.Fatalf("timeouts (%d) dominate fast recoveries (%d)",
+			res.Conn.Stats.Timeouts, res.Conn.Stats.FastRecoveries)
+	}
+}
+
+func TestDropTailQueueLossRecovery(t *testing.T) {
+	e := netsim.NewEngine(2)
+	// Small router buffer: slow-start overshoot must cause drops, and the
+	// transfer must still complete.
+	f := netsim.NewLink(e, "fwd", 2e7, 20*ms, 64*1024, 0)
+	r := netsim.NewLink(e, "rev", 0, 20*ms, 0, 0)
+	res := Transfer(e, netsim.NewPath(e, f), netsim.NewPath(e, r), cleanCfg(), 4<<20, nil)
+	if res.Bytes != 4<<20 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+	if f.Stats.QueueDrops == 0 {
+		t.Fatal("expected queue drops from slow-start overshoot")
+	}
+}
+
+func TestThroughputApproachesBottleneck(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 1e7, 5*ms, 0, 0) // 10 Mbps bottleneck
+	res := Transfer(e, fwd, rev, cleanCfg(), 16<<20, nil)
+	mbps := res.Mbps()
+	if mbps < 7.5 || mbps > 10.1 {
+		t.Fatalf("throughput %.2f Mbps, want near 10", mbps)
+	}
+}
+
+func TestFlowControlBackpressure(t *testing.T) {
+	// A sink that never reads must stall the sender at ~RecvBuf bytes.
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 1e9, ms, 0, 0)
+	cfg := cleanCfg()
+	cfg.RecvBuf = 64 * 1024
+	c := Connect(e, fwd, rev, cfg)
+	c.OnEstablished(func() { c.AppWrite(1 << 20) })
+	e.RunUntil(2 * netsim.Second)
+	if c.BytesReceived() > 64*1024 {
+		t.Fatalf("receiver buffered %d > RecvBuf", c.BytesReceived())
+	}
+	if c.BytesReceived() < 32*1024 {
+		t.Fatalf("receiver got only %d; window not used", c.BytesReceived())
+	}
+	// Now drain the sink; the transfer must resume via window updates.
+	total := int64(0)
+	c.OnDeliver(func() { total += c.AppRead(c.Available()) })
+	total += c.AppRead(c.Available())
+	e.RunUntil(10 * netsim.Second)
+	if got := c.BytesReceived(); got != 1<<20 {
+		t.Fatalf("after drain, received %d want %d", got, 1<<20)
+	}
+}
+
+func TestZeroWindowPersistSurvivesLostUpdate(t *testing.T) {
+	// Force a zero-window stall on a path whose reverse direction loses
+	// packets; the persist probe must eventually recover the window.
+	e := netsim.NewEngine(9)
+	f := netsim.NewLink(e, "fwd", 1e9, ms, 0, 0)
+	r := netsim.NewLink(e, "rev", 0, ms, 0, 0.3)
+	cfg := cleanCfg()
+	cfg.RecvBuf = 32 * 1024
+	c := Connect(e, netsim.NewPath(e, f), netsim.NewPath(e, r), cfg)
+	c.OnEstablished(func() { c.AppWrite(256 * 1024); c.CloseWrite() })
+	// Reader that drains in bursts only every 500ms.
+	var drain func()
+	drain = func() {
+		c.AppRead(c.Available())
+		if !c.EOF() {
+			e.Schedule(500*ms, drain)
+		}
+	}
+	e.Schedule(500*ms, drain)
+	e.RunUntil(120 * netsim.Second)
+	if !c.EOF() {
+		t.Fatalf("stalled: received %d of %d", c.BytesReceived(), 256*1024)
+	}
+}
+
+func TestEOFOnlyAfterAllDataRead(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 1e8, ms, 0, 0)
+	c := Connect(e, fwd, rev, cleanCfg())
+	c.OnEstablished(func() { c.AppWrite(5000); c.CloseWrite() })
+	e.RunUntil(netsim.Second)
+	if c.EOF() {
+		t.Fatal("EOF before app read")
+	}
+	if !c.FinReceived() {
+		t.Fatal("fin should have arrived")
+	}
+	if got := c.AppRead(100000); got != 5000 {
+		t.Fatalf("read %d", got)
+	}
+	if !c.EOF() {
+		t.Fatal("EOF after full read")
+	}
+}
+
+func TestDoneFiresWhenAllAcked(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 1e8, ms, 0, 0)
+	c := Connect(e, fwd, rev, cleanCfg())
+	c.OnEstablished(func() { c.AppWrite(5000); c.CloseWrite() })
+	c.OnDeliver(func() { c.AppRead(c.Available()) })
+	fired := false
+	c.OnDone(func() { fired = true })
+	e.Run()
+	if !fired || !c.Done() {
+		t.Fatalf("done=%v fired=%v", c.Done(), fired)
+	}
+}
+
+func TestSendSpaceBounded(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 1e6, 50*ms, 0, 0)
+	cfg := cleanCfg()
+	cfg.SendBuf = 100 * 1024
+	c := Connect(e, fwd, rev, cfg)
+	accepted := c.AppWrite(1 << 20)
+	if accepted != 100*1024 {
+		t.Fatalf("accepted %d, want SendBuf", accepted)
+	}
+	if c.SendSpace() != 0 {
+		t.Fatalf("space=%d", c.SendSpace())
+	}
+	if c.AppWrite(1) != 0 {
+		t.Fatal("write into full buffer should accept 0")
+	}
+}
+
+func TestWriteAfterCloseRejected(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 1e8, ms, 0, 0)
+	c := Connect(e, fwd, rev, cleanCfg())
+	c.AppWrite(100)
+	c.CloseWrite()
+	if c.AppWrite(100) != 0 {
+		t.Fatal("write after close should be rejected")
+	}
+}
+
+func TestSequenceMonotoneAndComplete(t *testing.T) {
+	e := netsim.NewEngine(13)
+	fwd, rev := symPath(e, 5e7, 8*ms, 0, 0.005)
+	rec := trace.New("c")
+	size := int64(2 << 20)
+	res := Transfer(e, fwd, rev, cleanCfg(), size, rec)
+	if res.Bytes != size {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+	// The trace must cover exactly [0, size+1) (including the fin unit).
+	if got := rec.TotalBytes(); got != size+1 {
+		t.Fatalf("trace bytes=%d want %d", got, size+1)
+	}
+	// Retransmit records must match the connection stats.
+	if got := rec.Retransmissions(); got != int(res.Conn.Stats.Retransmits) {
+		t.Fatalf("trace retx=%d stats=%d", got, res.Conn.Stats.Retransmits)
+	}
+}
+
+func TestTraceRTTMatchesPath(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 1e8, 25*ms, 0, 0)
+	rec := trace.New("c")
+	Transfer(e, fwd, rev, cleanCfg(), 1<<20, rec)
+	rtt := rec.AvgRTTSeconds()
+	// RTT must be at least the propagation RTT and not wildly above it
+	// (delayed ACKs and queueing add some).
+	if rtt < 0.050 || rtt > 0.110 {
+		t.Fatalf("avg rtt=%v, want ~0.05-0.11", rtt)
+	}
+}
+
+func TestDelayedAckReducesAckCount(t *testing.T) {
+	run := func(delayed bool) uint64 {
+		e := netsim.NewEngine(1)
+		fwd, rev := symPath(e, 1e8, 5*ms, 0, 0)
+		cfg := cleanCfg()
+		cfg.DelayedAcks = delayed
+		res := Transfer(e, fwd, rev, cfg, 1<<20, nil)
+		return res.Conn.Stats.AcksReceived
+	}
+	withDel := run(true)
+	without := run(false)
+	if withDel >= without {
+		t.Fatalf("delayed acks should reduce ACK count: %d vs %d", withDel, without)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (float64, uint64) {
+		e := netsim.NewEngine(99)
+		fwd, rev := symPath(e, 3e7, 15*ms, 128*1024, 0.001)
+		res := Transfer(e, fwd, rev, cleanCfg(), 4<<20, nil)
+		return res.Seconds(), res.Conn.Stats.Retransmits
+	}
+	s1, r1 := run()
+	s2, r2 := run()
+	if s1 != s2 || r1 != r2 {
+		t.Fatalf("nondeterministic: (%v,%d) vs (%v,%d)", s1, r1, s2, r2)
+	}
+}
+
+func TestRTOBackoffUnderBlackout(t *testing.T) {
+	// 100% forward loss after connection: the sender must back off its RTO
+	// exponentially rather than flooding.
+	e := netsim.NewEngine(1)
+	f := netsim.NewLink(e, "fwd", 1e8, ms, 0, 0)
+	r := netsim.NewLink(e, "rev", 0, ms, 0, 0)
+	c := Connect(e, netsim.NewPath(e, f), netsim.NewPath(e, r), cleanCfg())
+	c.OnEstablished(func() {
+		f.LossProb = 1.0 // blackout after handshake
+		c.AppWrite(100000)
+	})
+	e.RunUntil(30 * netsim.Second)
+	if c.Stats.Timeouts < 3 {
+		t.Fatalf("timeouts=%d, want several", c.Stats.Timeouts)
+	}
+	if c.Stats.Retransmits > 20 {
+		t.Fatalf("retransmits=%d, backoff not applied", c.Stats.Retransmits)
+	}
+	if c.RTO() <= cleanCfg().MinRTO {
+		t.Fatalf("rto=%v did not back off", c.RTO())
+	}
+}
+
+func TestSynLossEventuallyConnects(t *testing.T) {
+	e := netsim.NewEngine(1)
+	f := netsim.NewLink(e, "fwd", 1e8, ms, 0, 1.0)
+	r := netsim.NewLink(e, "rev", 0, ms, 0, 0)
+	c := Connect(e, netsim.NewPath(e, f), netsim.NewPath(e, r), cleanCfg())
+	e.Schedule(2500*ms, func() { f.LossProb = 0 }) // network heals
+	e.RunUntil(20 * netsim.Second)
+	if !c.Established() {
+		t.Fatal("connection should establish after SYN retries")
+	}
+}
+
+func TestCwndNeverExceedsBuffers(t *testing.T) {
+	e := netsim.NewEngine(17)
+	fwd, rev := symPath(e, 1e9, ms, 0, 0.0005)
+	cfg := cleanCfg()
+	cfg.SendBuf = 256 * 1024
+	c := Connect(e, fwd, rev, cfg)
+	c.OnEstablished(func() { c.AppWrite(int64(cfg.SendBuf)) })
+	c.OnDeliver(func() { c.AppRead(c.Available()) })
+	maxSeen := 0.0
+	var tick func()
+	tick = func() {
+		if c.Cwnd() > maxSeen {
+			maxSeen = c.Cwnd()
+		}
+		if e.Pending() > 0 {
+			e.Schedule(10*ms, tick)
+		}
+	}
+	e.Schedule(10*ms, tick)
+	e.RunUntil(5 * netsim.Second)
+	if maxSeen > float64(cfg.SendBuf)+1 {
+		t.Fatalf("cwnd %v exceeded send buffer %d", maxSeen, cfg.SendBuf)
+	}
+}
+
+func TestRTTEstimatorConverges(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 1e8, 30*ms, 0, 0)
+	res := Transfer(e, fwd, rev, cleanCfg(), 2<<20, nil)
+	srtt := res.Conn.SRTTSeconds()
+	if math.Abs(srtt-0.060) > 0.030 {
+		t.Fatalf("srtt=%v want ~0.060", srtt)
+	}
+	if res.Conn.Stats.RTTSamples == 0 {
+		t.Fatal("no RTT samples")
+	}
+}
+
+func TestOOOIntervalMergeExact(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 0, 0, 0, 0)
+	c := Connect(e, fwd, rev, cleanCfg())
+	e.Run()
+	// Inject out-of-order segments directly.
+	c.segmentArrive(2000, 1000, false)
+	c.segmentArrive(4000, 1000, false)
+	if c.OOOBytes() != 2000 {
+		t.Fatalf("ooo=%d", c.OOOBytes())
+	}
+	c.segmentArrive(3000, 1000, false) // bridges the two intervals
+	if c.OOOBytes() != 3000 {
+		t.Fatalf("ooo=%d after bridge", c.OOOBytes())
+	}
+	c.segmentArrive(0, 2000, false) // fills the head: everything merges
+	e.Run()
+	if c.RcvNxt() != 5000 || c.OOOBytes() != 0 {
+		t.Fatalf("rcvNxt=%d ooo=%d", c.RcvNxt(), c.OOOBytes())
+	}
+}
+
+func TestOverlappingSegmentsIdempotent(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 0, 0, 0, 0)
+	c := Connect(e, fwd, rev, cleanCfg())
+	e.Run()
+	c.segmentArrive(1000, 2000, false)
+	c.segmentArrive(1500, 2000, false) // overlaps previous
+	if c.OOOBytes() != 2500 {
+		t.Fatalf("ooo=%d want 2500", c.OOOBytes())
+	}
+	c.segmentArrive(0, 1000, false)
+	e.Run()
+	if c.RcvNxt() != 3500 {
+		t.Fatalf("rcvNxt=%d", c.RcvNxt())
+	}
+}
+
+func TestDuplicateSegmentTriggersAck(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 0, 0, 0, 0)
+	c := Connect(e, fwd, rev, cleanCfg())
+	e.Run()
+	c.segmentArrive(0, 1000, false)
+	e.Run()
+	before := c.Stats.AcksReceived
+	c.segmentArrive(0, 1000, false) // pure duplicate
+	e.Run()
+	if c.Stats.AcksReceived <= before {
+		t.Fatal("duplicate segment should elicit an immediate ACK")
+	}
+}

@@ -1,0 +1,118 @@
+package tcpsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lsl/internal/netsim"
+	"lsl/internal/trace"
+)
+
+// Property: every transfer completes exactly, with a monotone trace and
+// consistent retransmission accounting, across random network conditions.
+func TestTransferConservationProperty(t *testing.T) {
+	f := func(seed int64, rateRaw, delayRaw, lossRaw, sizeRaw uint16, sack bool) bool {
+		rate := float64(rateRaw%500+10) * 1e5    // 1..51 Mbps
+		delay := netsim.Time(delayRaw%60+1) * ms // 1..60ms one-way
+		loss := float64(lossRaw%50) / 10000      // 0..0.5%
+		size := int64(sizeRaw%900+1) << 10       // 1K..900K
+		e := netsim.NewEngine(seed)
+		fl := netsim.NewLink(e, "f", rate, delay, 256<<10, loss)
+		rl := netsim.NewLink(e, "r", 0, delay, 0, loss/2)
+		cfg := DefaultConfig()
+		cfg.DisableSACK = !sack
+		res := Transfer(e, netsim.NewPath(e, fl), netsim.NewPath(e, rl), cfg, size, nil)
+		if res.Bytes != size {
+			return false
+		}
+		if res.Seconds() <= 0 {
+			return false
+		}
+		// Sanity on the floor: can't beat propagation + handshake.
+		if res.Seconds() < 2*delay.Seconds() {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sequence numbers in traces are monotone (original
+// transmissions) and the trace covers exactly the stream.
+func TestTraceCoverageProperty(t *testing.T) {
+	f := func(seed int64, lossRaw uint8, sizeRaw uint16) bool {
+		loss := float64(lossRaw%30) / 10000
+		size := int64(sizeRaw%500+1) << 10
+		e := netsim.NewEngine(seed)
+		fl := netsim.NewLink(e, "f", 2e7, 10*ms, 0, loss)
+		rl := netsim.NewLink(e, "r", 0, 10*ms, 0, 0)
+		rec := trace.New("t")
+		res := Transfer(e, netsim.NewPath(e, fl), netsim.NewPath(e, rl), DefaultConfig(), size, rec)
+		if res.Bytes != size {
+			return false
+		}
+		if rec.TotalBytes() != size+1 { // + fin unit
+			return false
+		}
+		if rec.Retransmissions() != int(res.Conn.Stats.Retransmits) {
+			return false
+		}
+		ser := rec.SeqSeries()
+		for i := 1; i < len(ser); i++ {
+			if ser[i].Y < ser[i-1].Y || ser[i].X < ser[i-1].X {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: throughput on a loss-dominated path stays within a broad
+// factor band of the Mathis bound (the simulator's congestion avoidance
+// and the analytic model must agree on scaling).
+func TestMathisBandProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	type tc struct {
+		delay netsim.Time
+		loss  float64
+	}
+	for _, c := range []tc{
+		{15 * ms, 3e-4},
+		{30 * ms, 3e-4},
+		{30 * ms, 1e-3},
+		{50 * ms, 5e-4},
+	} {
+		e := netsim.NewEngine(99)
+		fl := netsim.NewLink(e, "f", 1e9, c.delay, 0, c.loss)
+		rl := netsim.NewLink(e, "r", 0, c.delay, 0, 0)
+		cfg := DefaultConfig()
+		cfg.InitialSSThresh = 64 << 10 // skip the slow-start burst
+		res := Transfer(e, netsim.NewPath(e, fl), netsim.NewPath(e, rl), cfg, 32<<20, nil)
+		rtt := 2 * c.delay.Seconds()
+		mathis := 1.22 * float64(cfg.MSS*8) / (rtt * math.Sqrt(c.loss))
+		got := res.Mbps() * 1e6
+		// Delayed ACKs, recovery overhead and finite length put the
+		// simulator below the bound; a factor-4 band catches scaling bugs
+		// without overfitting.
+		if got > mathis*1.5 || got < mathis/4 {
+			t.Fatalf("delay=%v loss=%v: got %.1f Mbps, Mathis %.1f Mbps",
+				c.delay, c.loss, got/1e6, mathis/1e6)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package tcpsim
+
+// ---------- receiver-side application interface ----------
+
+// Available returns the number of in-order data bytes the sink application
+// has not yet consumed.
+func (c *Conn) Available() int64 {
+	return c.dataEnd() - c.appRead
+}
+
+// dataEnd is the highest contiguous data offset received, excluding the
+// fin marker's sequence unit.
+func (c *Conn) dataEnd() int64 {
+	if c.finAt > 0 && c.rcvNxt >= c.finAt {
+		return c.finAt - 1
+	}
+	return c.rcvNxt
+}
+
+// AppRead consumes up to n in-order bytes, returning the number consumed.
+// Freeing receive buffer space may trigger a window-update ACK so a sender
+// stalled on a zero window resumes promptly.
+func (c *Conn) AppRead(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	avail := c.Available()
+	if avail <= 0 {
+		return 0
+	}
+	if n > avail {
+		n = avail
+	}
+	wasZero := c.advertisedWindow() == 0
+	c.appRead += n
+	if wasZero && c.advertisedWindow() > 0 {
+		c.emitAck() // window update
+	}
+	return n
+}
+
+// OnDeliver registers fn to run whenever new in-order data (or the end of
+// stream) becomes visible to the sink application.
+func (c *Conn) OnDeliver(fn func()) { c.onDeliver = fn }
+
+// EOF reports whether the whole stream (data + fin) has arrived and all
+// data has been consumed by the sink application.
+func (c *Conn) EOF() bool {
+	return c.finAt > 0 && c.rcvNxt >= c.finAt && c.appRead >= c.finAt-1
+}
+
+// FinReceived reports whether the fin marker has arrived in order (the
+// stream length is known and fully received).
+func (c *Conn) FinReceived() bool {
+	return c.finAt > 0 && c.rcvNxt >= c.finAt
+}
+
+// BytesReceived returns the total in-order data bytes received so far.
+func (c *Conn) BytesReceived() int64 { return c.dataEnd() }
+
+// advertisedWindow is the receive buffer space not occupied by undelivered
+// in-order or out-of-order data.
+func (c *Conn) advertisedWindow() int64 {
+	used := (c.dataEnd() - c.appRead) + c.oooBytes
+	w := int64(c.cfg.RecvBuf) - used
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// ---------- segment arrival ----------
+
+// segmentArrive processes the segment [seq, seq+n) at the receiver. n==0
+// is a window probe and elicits an immediate ACK.
+func (c *Conn) segmentArrive(seq, n int64, fin bool) {
+	if n == 0 {
+		c.emitAck()
+		return
+	}
+	if fin {
+		c.finAt = seq + n
+	}
+	end := seq + n
+	switch {
+	case end <= c.rcvNxt:
+		// Entirely duplicate data: immediate ACK so the sender's dupack
+		// machinery sees it.
+		c.emitAck()
+		return
+	case seq <= c.rcvNxt:
+		// In-order (possibly with a duplicate prefix).
+		c.rcvNxt = end
+		c.mergeOOO()
+		c.deliver()
+		c.ackInOrder()
+	default:
+		// Out of order: buffer the interval, send an immediate duplicate ACK.
+		c.insertOOO(seq, end)
+		c.emitAck()
+	}
+}
+
+// deliver notifies the sink application of newly visible data or EOF.
+func (c *Conn) deliver() {
+	if c.onDeliver != nil {
+		c.onDeliver()
+	}
+}
+
+// ackInOrder implements delayed ACKs: every second in-order segment (or the
+// delayed-ACK timer, or stream end) forces an ACK.
+func (c *Conn) ackInOrder() {
+	c.delAcks++
+	if !c.cfg.DelayedAcks || c.delAcks >= 2 || c.FinReceived() {
+		c.emitAck()
+		return
+	}
+	if !c.delArmed {
+		c.delArmed = true
+		c.delAckGen++
+		gen := c.delAckGen
+		c.e.Schedule(c.cfg.DelAckTimeout, func() {
+			if gen != c.delAckGen {
+				return
+			}
+			c.delArmed = false
+			if c.delAcks > 0 {
+				c.emitAck()
+			}
+		})
+	}
+}
+
+// emitAck sends a cumulative ACK carrying the current window, after any
+// configured receiver host delay (the loaded-depot model of Figure 4).
+func (c *Conn) emitAck() {
+	c.delAcks = 0
+	c.delAckGen++ // cancel pending delayed-ack timer
+	c.delArmed = false
+	ack := c.rcvNxt
+	wnd := c.advertisedWindow()
+	// SACK option: up to three blocks. Send the earliest intervals (they
+	// describe the oldest holes) plus the highest one so the sender's
+	// forward-most-acknowledged point is accurate.
+	var sacks []ival
+	if !c.cfg.DisableSACK && len(c.ooo) > 0 {
+		n := len(c.ooo)
+		if n <= 3 {
+			sacks = append(sacks, c.ooo...)
+		} else {
+			sacks = append(sacks, c.ooo[0], c.ooo[1], c.ooo[n-1])
+		}
+	}
+	send := func() {
+		c.rev.Send(c.cfg.HeaderBytes, func() {
+			c.ackArrive(ack, wnd, sacks)
+		})
+	}
+	if c.cfg.ReceiverHostDelay != nil {
+		at := c.e.Now() + c.cfg.ReceiverHostDelay()
+		if at < c.ackEmitHorizon { // keep ACKs FIFO under random delays
+			at = c.ackEmitHorizon
+		}
+		c.ackEmitHorizon = at
+		c.e.At(at, send)
+	} else {
+		send()
+	}
+}
+
+// ---------- out-of-order interval bookkeeping ----------
+
+// insertOOO records [start, end) as received out of order, merging with
+// existing intervals and clipping against already-delivered data.
+func (c *Conn) insertOOO(start, end int64) {
+	if start < c.rcvNxt {
+		start = c.rcvNxt
+	}
+	if end <= start {
+		return
+	}
+	merged := ival{start, end}
+	out := c.ooo[:0]
+	for _, iv := range c.ooo {
+		if iv.end < merged.start || iv.start > merged.end {
+			out = append(out, iv)
+			continue
+		}
+		if iv.start < merged.start {
+			merged.start = iv.start
+		}
+		if iv.end > merged.end {
+			merged.end = iv.end
+		}
+	}
+	// Insert keeping the slice sorted by start.
+	pos := len(out)
+	for i, iv := range out {
+		if iv.start > merged.start {
+			pos = i
+			break
+		}
+	}
+	out = append(out, ival{})
+	copy(out[pos+1:], out[pos:])
+	out[pos] = merged
+	c.ooo = out
+	c.recountOOO()
+}
+
+// mergeOOO absorbs intervals now contiguous with rcvNxt.
+func (c *Conn) mergeOOO() {
+	for len(c.ooo) > 0 {
+		iv := c.ooo[0]
+		if iv.start > c.rcvNxt {
+			break
+		}
+		if iv.end > c.rcvNxt {
+			c.rcvNxt = iv.end
+		}
+		c.ooo = c.ooo[1:]
+	}
+	c.recountOOO()
+}
+
+func (c *Conn) recountOOO() {
+	var total int64
+	for _, iv := range c.ooo {
+		total += iv.end - iv.start
+	}
+	c.oooBytes = total
+}
+
+// OOOBytes returns the bytes currently buffered out of order (for tests).
+func (c *Conn) OOOBytes() int64 { return c.oooBytes }
+
+// RcvNxt returns the receiver's next expected offset (for tests).
+func (c *Conn) RcvNxt() int64 { return c.rcvNxt }

@@ -1,0 +1,133 @@
+package tcpsim
+
+import (
+	"testing"
+
+	"lsl/internal/netsim"
+)
+
+// runBurstLossCase exercises burst loss via a tiny drop-tail router
+// buffer, which slow-start overshoot overflows — the worst case for Reno
+// (one recovered hole per RTT), routine for SACK.
+func runBurstLossCase(disableSACK bool) TransferResult {
+	e := netsim.NewEngine(7)
+	f := netsim.NewLink(e, "f", 2e7, 20*ms, 48*1024, 0) // small router buffer
+	r := netsim.NewLink(e, "r", 0, 20*ms, 0, 0)
+	cfg := DefaultConfig()
+	cfg.DisableSACK = disableSACK
+	return Transfer(e, netsim.NewPath(e, f), netsim.NewPath(e, r), cfg, 8<<20, nil)
+}
+
+func TestSACKRecoversBurstFasterThanReno(t *testing.T) {
+	withSACK := runBurstLossCase(false)
+	reno := runBurstLossCase(true)
+	if withSACK.Bytes != 8<<20 || reno.Bytes != 8<<20 {
+		t.Fatalf("incomplete: %d / %d", withSACK.Bytes, reno.Bytes)
+	}
+	// SACK repairs a multi-segment burst in ~1 RTT; Reno needs a round
+	// trip (or an RTO) per hole. The completion gap should be material.
+	if withSACK.Seconds() >= reno.Seconds() {
+		t.Fatalf("SACK (%.2fs) should beat Reno (%.2fs) under burst loss",
+			withSACK.Seconds(), reno.Seconds())
+	}
+}
+
+func TestSACKScoreboardMerge(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 0, 0, 0, 0)
+	c := Connect(e, fwd, rev, DefaultConfig())
+	e.Run()
+	c.addSack(1000, 2000)
+	c.addSack(3000, 4000)
+	if len(c.sacked) != 2 {
+		t.Fatalf("sacked=%v", c.sacked)
+	}
+	c.addSack(1500, 3500) // bridges both
+	if len(c.sacked) != 1 || c.sacked[0].start != 1000 || c.sacked[0].end != 4000 {
+		t.Fatalf("merge failed: %v", c.sacked)
+	}
+	if c.fack() != 4000 {
+		t.Fatalf("fack=%d", c.fack())
+	}
+}
+
+func TestSACKScoreboardClipsBelowUna(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 0, 0, 0, 0)
+	c := Connect(e, fwd, rev, DefaultConfig())
+	e.Run()
+	c.sndUna = 5000
+	c.addSack(1000, 2000) // entirely below una: ignored
+	if len(c.sacked) != 0 {
+		t.Fatalf("sacked=%v", c.sacked)
+	}
+	c.addSack(4000, 6000) // straddles: clipped
+	if len(c.sacked) != 1 || c.sacked[0].start != 5000 {
+		t.Fatalf("clip failed: %v", c.sacked)
+	}
+}
+
+func TestSACKPruneOnCumulativeAck(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 0, 0, 0, 0)
+	c := Connect(e, fwd, rev, DefaultConfig())
+	e.Run()
+	c.addSack(1000, 2000)
+	c.addSack(3000, 4000)
+	c.sndUna = 3500
+	c.pruneSacked()
+	if len(c.sacked) != 1 || c.sacked[0].start != 3500 || c.sacked[0].end != 4000 {
+		t.Fatalf("prune failed: %v", c.sacked)
+	}
+}
+
+func TestNextHoleWalksGaps(t *testing.T) {
+	e := netsim.NewEngine(1)
+	fwd, rev := symPath(e, 0, 0, 0, 0)
+	c := Connect(e, fwd, rev, DefaultConfig())
+	e.Run()
+	c.sndUna = 0
+	c.holePtr = 0
+	c.addSack(1000, 2000)
+	c.addSack(3000, 4000)
+	s, en, ok := c.nextHole()
+	if !ok || s != 0 || en != 1000 {
+		t.Fatalf("first hole: %d-%d %v", s, en, ok)
+	}
+	c.holePtr = 1000 // consumed first hole
+	s, en, ok = c.nextHole()
+	if !ok || s != 2000 || en != 3000 {
+		t.Fatalf("second hole: %d-%d %v", s, en, ok)
+	}
+	c.holePtr = 3000
+	if _, _, ok := c.nextHole(); ok {
+		t.Fatal("no hole beyond fack")
+	}
+}
+
+func TestDisableSACKOmitsBlocks(t *testing.T) {
+	e := netsim.NewEngine(13)
+	f := netsim.NewLink(e, "f", 1e8, 5*ms, 0, 0.01)
+	r := netsim.NewLink(e, "r", 0, 5*ms, 0, 0)
+	cfg := DefaultConfig()
+	cfg.DisableSACK = true
+	res := Transfer(e, netsim.NewPath(e, f), netsim.NewPath(e, r), cfg, 1<<20, nil)
+	if res.Bytes != 1<<20 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+	if len(res.Conn.sacked) != 0 {
+		t.Fatal("scoreboard populated with SACK disabled")
+	}
+}
+
+func TestRenoStillCompletesRandomLoss(t *testing.T) {
+	e := netsim.NewEngine(21)
+	f := netsim.NewLink(e, "f", 5e7, 10*ms, 0, 0.003)
+	r := netsim.NewLink(e, "r", 0, 10*ms, 0, 0)
+	cfg := DefaultConfig()
+	cfg.DisableSACK = true
+	res := Transfer(e, netsim.NewPath(e, f), netsim.NewPath(e, r), cfg, 4<<20, nil)
+	if res.Bytes != 4<<20 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+}

@@ -1,0 +1,79 @@
+package tcpsim
+
+import (
+	"lsl/internal/netsim"
+	"lsl/internal/trace"
+)
+
+// TransferResult summarizes one simulated bulk transfer.
+type TransferResult struct {
+	Bytes int64
+	Start netsim.Time // when the transfer was initiated (connect time)
+	Done  netsim.Time // when the sink had consumed the whole stream
+	Conn  *Conn
+	Trace *trace.Recorder
+}
+
+// Seconds returns the wall-clock duration of the transfer, connect to EOF —
+// the paper's methodology ("we observed the host to host throughput
+// empirically so as to include all additional overheads").
+func (r TransferResult) Seconds() float64 { return (r.Done - r.Start).Seconds() }
+
+// Mbps returns the achieved goodput in megabits per second.
+func (r TransferResult) Mbps() float64 {
+	s := r.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / s / 1e6
+}
+
+// Transfer runs a complete size-byte transfer over fwd/rev on engine e:
+// connect, stream, close, and consume at the sink as fast as data arrives.
+// It drives the engine until the sink reaches EOF (or the event heap
+// drains, which would indicate a protocol deadlock and is reported by the
+// Done timestamp remaining zero with Bytes short). A trace recorder is
+// attached when rec is non-nil.
+func Transfer(e *netsim.Engine, fwd, rev *netsim.Path, cfg Config, size int64, rec *trace.Recorder) TransferResult {
+	start := e.Now()
+	c := Connect(e, fwd, rev, cfg)
+	c.Trace = rec
+
+	var pushed int64
+	push := func() {
+		for pushed < size {
+			n := c.AppWrite(size - pushed)
+			if n == 0 {
+				break
+			}
+			pushed += n
+		}
+		if pushed == size {
+			c.CloseWrite()
+		}
+	}
+	c.OnEstablished(push)
+	c.OnSendSpace(push)
+
+	var done netsim.Time
+	finished := false
+	c.OnDeliver(func() {
+		if n := c.Available(); n > 0 {
+			c.AppRead(n)
+		}
+		if !finished && c.EOF() {
+			finished = true
+			done = e.Now()
+		}
+	})
+
+	e.RunWhile(func() bool { return !finished })
+
+	return TransferResult{
+		Bytes: c.BytesReceived(),
+		Start: start,
+		Done:  done,
+		Conn:  c,
+		Trace: rec,
+	}
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lsl/internal/netsim"
+	"lsl/internal/stats"
+)
+
+// Set is a collection of per-iteration recorders for the same experiment
+// configuration (e.g. ten 64 MB direct-TCP transfers), from which the
+// paper-style aggregate curves and case selections are computed.
+type Set struct {
+	Name string
+	Runs []*Recorder
+	// Origins optionally supplies a per-run normalization time (session
+	// start). When nil, each run is normalized to its own first send.
+	Origins []netsim.Time
+}
+
+// SeqCurves returns the per-run normalized sequence growth series.
+func (s *Set) SeqCurves() []stats.Series {
+	out := make([]stats.Series, 0, len(s.Runs))
+	for i, r := range s.Runs {
+		var ser stats.Series
+		if s.Origins != nil && i < len(s.Origins) {
+			ser = r.SeqSeriesAt(s.Origins[i])
+		} else {
+			ser = r.SeqSeries()
+		}
+		if ser != nil {
+			out = append(out, ser)
+		}
+	}
+	return out
+}
+
+// AverageCurve returns the pointwise mean of the per-run sequence curves on
+// a gridN-point grid — the "Average" lines of Figures 11-14 and 18/22.
+func (s *Set) AverageCurve(gridN int) stats.Series {
+	return stats.AverageSeries(s.SeqCurves(), gridN)
+}
+
+// RetxCounts returns the retransmission count of every run.
+func (s *Set) RetxCounts() []float64 {
+	out := make([]float64, len(s.Runs))
+	for i, r := range s.Runs {
+		out[i] = float64(r.Retransmissions())
+	}
+	return out
+}
+
+// MinLossRun returns the index of the run with the fewest retransmissions
+// (the paper's "minimum observed number of retransmissions" case; when a
+// zero-retransmission run exists this is the "no packet loss" case of
+// Figure 15).
+func (s *Set) MinLossRun() int { return stats.ArgMin(s.RetxCounts()) }
+
+// MedianLossRun returns the index of the run with the median
+// retransmission count (an actual run, not an interpolation).
+func (s *Set) MedianLossRun() int { return stats.ArgMedian(s.RetxCounts()) }
+
+// MaxLossRun returns the index of the run with the most retransmissions.
+func (s *Set) MaxLossRun() int { return stats.ArgMax(s.RetxCounts()) }
+
+// AvgRTTSeconds averages the per-run mean RTTs, weighting runs equally as
+// the paper's bar charts do.
+func (s *Set) AvgRTTSeconds() float64 {
+	var vals []float64
+	for _, r := range s.Runs {
+		if v := r.AvgRTTSeconds(); v > 0 {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	return stats.Mean(vals)
+}
+
+// PlotASCII renders one or more named series as a crude fixed-size ASCII
+// chart, good enough to eyeball curve shapes from cmd/lslbench output.
+func PlotASCII(title string, width, height int, series map[string]stats.Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var xmax, ymax float64
+	for _, s := range series {
+		for _, p := range s {
+			if p.X > xmax {
+				xmax = p.X
+			}
+			if p.Y > ymax {
+				ymax = p.Y
+			}
+		}
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	marks := "*+ox#@"
+	for mi, name := range names {
+		mark := marks[mi%len(marks)]
+		for _, p := range series[name] {
+			if xmax <= 0 || ymax <= 0 {
+				continue
+			}
+			x := int(p.X / xmax * float64(width-1))
+			y := height - 1 - int(p.Y/ymax*float64(height-1))
+			if x >= 0 && x < width && y >= 0 && y < height {
+				grid[y][x] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (x: 0..%.3g, y: 0..%.3g)\n", title, xmax, ymax)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	for mi, name := range names {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[mi%len(marks)], name)
+	}
+	return b.String()
+}

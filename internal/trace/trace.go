@@ -1,0 +1,264 @@
+// Package trace captures and analyzes per-connection packet traces the way
+// the paper uses tcpdump captures at the sender: it records every data
+// segment transmission (distinguishing retransmissions) and every
+// acknowledgment arrival, then derives the paper's analysis artifacts —
+// average RTT from ACK timing (Figures 3, 4, 9), normalized
+// sequence-number growth curves (Figures 11-27), and retransmission counts
+// used to classify runs into minimum / median / maximum loss cases.
+package trace
+
+import (
+	"lsl/internal/netsim"
+	"lsl/internal/stats"
+)
+
+// Kind labels a trace record.
+type Kind uint8
+
+const (
+	// Send is an original transmission of a data segment.
+	Send Kind = iota
+	// Retx is a retransmission of a previously sent segment.
+	Retx
+	// AckRx is the arrival of an acknowledgment at the sender.
+	AckRx
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Send:
+		return "send"
+	case Retx:
+		return "retx"
+	case AckRx:
+		return "ack"
+	default:
+		return "?"
+	}
+}
+
+// Record is one traced event. Seq and Len describe data segments; Ack is
+// the cumulative acknowledgment number carried by an AckRx record.
+type Record struct {
+	T    netsim.Time
+	Kind Kind
+	Seq  int64
+	Len  int
+	Ack  int64
+}
+
+// Recorder accumulates records for a single connection. A nil Recorder is
+// valid and records nothing, so connections can be traced selectively.
+type Recorder struct {
+	Name    string
+	Records []Record
+}
+
+// New returns an empty recorder with the given name.
+func New(name string) *Recorder { return &Recorder{Name: name} }
+
+// Add appends a record. Safe to call on nil.
+func (r *Recorder) Add(rec Record) {
+	if r == nil {
+		return
+	}
+	r.Records = append(r.Records, rec)
+}
+
+// Len returns the number of records (0 for nil).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.Records)
+}
+
+// Retransmissions counts Retx records — the per-run loss proxy the paper
+// uses to pick its min/median/max loss example traces.
+func (r *Recorder) Retransmissions() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, rec := range r.Records {
+		if rec.Kind == Retx {
+			n++
+		}
+	}
+	return n
+}
+
+// firstSendTime returns the time of the first data transmission, or -1.
+func (r *Recorder) firstSendTime() netsim.Time {
+	for _, rec := range r.Records {
+		if rec.Kind == Send || rec.Kind == Retx {
+			return rec.T
+		}
+	}
+	return -1
+}
+
+// SeqSeries returns the normalized sequence-number growth curve: for each
+// original transmission, the point (seconds since the connection's first
+// send, Seq+Len relative to the first sent byte). Retransmissions do not
+// advance the curve (matching how the paper plots normalized sequence
+// progress), but they do appear in time, so stalls are visible as flat
+// spans. The curve is made monotone nondecreasing.
+func (r *Recorder) SeqSeries() stats.Series {
+	if r == nil || len(r.Records) == 0 {
+		return nil
+	}
+	t0 := r.firstSendTime()
+	if t0 < 0 {
+		return nil
+	}
+	var base int64 = -1
+	var out stats.Series
+	var high int64
+	for _, rec := range r.Records {
+		if rec.Kind != Send && rec.Kind != Retx {
+			continue
+		}
+		if base < 0 {
+			base = rec.Seq
+		}
+		end := rec.Seq + int64(rec.Len) - base
+		if end < high {
+			end = high
+		}
+		high = end
+		out = append(out, stats.Point{X: (rec.T - t0).Seconds(), Y: float64(end)})
+	}
+	return out
+}
+
+// SeqSeriesAt is SeqSeries but normalized against an externally supplied
+// origin time (e.g. the session start, or sublink 1's first send so that
+// sublink 2 is plotted "normalized with respect to subpath 1" as in the
+// paper's Figure 13).
+func (r *Recorder) SeqSeriesAt(t0 netsim.Time) stats.Series {
+	if r == nil || len(r.Records) == 0 {
+		return nil
+	}
+	var base int64 = -1
+	var out stats.Series
+	var high int64
+	for _, rec := range r.Records {
+		if rec.Kind != Send && rec.Kind != Retx {
+			continue
+		}
+		if base < 0 {
+			base = rec.Seq
+		}
+		end := rec.Seq + int64(rec.Len) - base
+		if end < high {
+			end = high
+		}
+		high = end
+		x := (rec.T - t0).Seconds()
+		if x < 0 {
+			x = 0
+		}
+		out = append(out, stats.Point{X: x, Y: float64(end)})
+	}
+	return out
+}
+
+// AvgRTTSeconds estimates the connection's average round-trip time the way
+// the paper does from tcpdump captures at the sender: each original (never
+// retransmitted) data segment is matched with the first cumulative ACK
+// covering it, following Karn's rule of excluding retransmitted segments
+// from timing. It returns 0 if no samples exist.
+func (r *Recorder) AvgRTTSeconds() float64 {
+	samples := r.RTTSamplesSeconds()
+	if len(samples) == 0 {
+		return 0
+	}
+	return stats.Mean(samples)
+}
+
+// RTTSamplesSeconds returns the per-segment RTT samples described in
+// AvgRTTSeconds.
+func (r *Recorder) RTTSamplesSeconds() []float64 {
+	if r == nil {
+		return nil
+	}
+	// Collect segments retransmitted at least once (excluded per Karn).
+	retx := make(map[int64]bool)
+	for _, rec := range r.Records {
+		if rec.Kind == Retx {
+			retx[rec.Seq] = true
+		}
+	}
+	type pending struct {
+		end int64
+		t   netsim.Time
+	}
+	var pend []pending
+	var samples []float64
+	for _, rec := range r.Records {
+		switch rec.Kind {
+		case Send:
+			if !retx[rec.Seq] {
+				pend = append(pend, pending{end: rec.Seq + int64(rec.Len), t: rec.T})
+			}
+		case AckRx:
+			i := 0
+			for ; i < len(pend); i++ {
+				if pend[i].end > rec.Ack {
+					break
+				}
+				samples = append(samples, (rec.T - pend[i].t).Seconds())
+			}
+			pend = pend[i:]
+		}
+	}
+	return samples
+}
+
+// MaxSendGapSeconds returns the longest silence between consecutive data
+// transmissions (originals or retransmissions) — the stall detector used
+// to catch pathological loss-recovery behavior such as exponential RTO
+// ladders.
+func (r *Recorder) MaxSendGapSeconds() float64 {
+	if r == nil {
+		return 0
+	}
+	var prev netsim.Time = -1
+	var max netsim.Time
+	for _, rec := range r.Records {
+		if rec.Kind != Send && rec.Kind != Retx {
+			continue
+		}
+		if prev >= 0 && rec.T-prev > max {
+			max = rec.T - prev
+		}
+		prev = rec.T
+	}
+	return max.Seconds()
+}
+
+// TotalBytes returns the number of distinct payload bytes whose original
+// transmission appears in the trace (highest Seq+Len minus lowest Seq).
+func (r *Recorder) TotalBytes() int64 {
+	if r == nil {
+		return 0
+	}
+	var lo int64 = -1
+	var hi int64
+	for _, rec := range r.Records {
+		if rec.Kind != Send && rec.Kind != Retx {
+			continue
+		}
+		if lo < 0 || rec.Seq < lo {
+			lo = rec.Seq
+		}
+		if end := rec.Seq + int64(rec.Len); end > hi {
+			hi = end
+		}
+	}
+	if lo < 0 {
+		return 0
+	}
+	return hi - lo
+}

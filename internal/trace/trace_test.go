@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lsl/internal/netsim"
+	"lsl/internal/stats"
+)
+
+const ms = netsim.Millisecond
+
+func rec(t netsim.Time, k Kind, seq int64, n int, ack int64) Record {
+	return Record{T: t, Kind: k, Seq: seq, Len: n, Ack: ack}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(rec(0, Send, 0, 10, 0))
+	if r.Len() != 0 || r.Retransmissions() != 0 || r.SeqSeries() != nil {
+		t.Fatal("nil recorder should be inert")
+	}
+	if r.AvgRTTSeconds() != 0 || r.TotalBytes() != 0 {
+		t.Fatal("nil recorder analysis should be zero")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Send.String() != "send" || Retx.String() != "retx" || AckRx.String() != "ack" {
+		t.Fatal("kind strings wrong")
+	}
+	if Kind(9).String() != "?" {
+		t.Fatal("unknown kind")
+	}
+}
+
+func TestRetransmissionCount(t *testing.T) {
+	r := New("c")
+	r.Add(rec(0, Send, 0, 100, 0))
+	r.Add(rec(1*ms, Retx, 0, 100, 0))
+	r.Add(rec(2*ms, Send, 100, 100, 0))
+	r.Add(rec(3*ms, Retx, 0, 100, 0))
+	if got := r.Retransmissions(); got != 2 {
+		t.Fatalf("retx=%d", got)
+	}
+}
+
+func TestSeqSeriesNormalization(t *testing.T) {
+	r := New("c")
+	r.Add(rec(10*ms, Send, 5000, 100, 0))
+	r.Add(rec(20*ms, Send, 5100, 100, 0))
+	s := r.SeqSeries()
+	if len(s) != 2 {
+		t.Fatalf("len=%d", len(s))
+	}
+	if s[0].X != 0 || s[0].Y != 100 {
+		t.Fatalf("first point %+v", s[0])
+	}
+	if math.Abs(s[1].X-0.01) > 1e-9 || s[1].Y != 200 {
+		t.Fatalf("second point %+v", s[1])
+	}
+}
+
+func TestSeqSeriesMonotoneUnderRetx(t *testing.T) {
+	r := New("c")
+	r.Add(rec(0, Send, 0, 100, 0))
+	r.Add(rec(1*ms, Send, 100, 100, 0))
+	r.Add(rec(5*ms, Retx, 0, 100, 0)) // retransmit older data
+	r.Add(rec(6*ms, Send, 200, 100, 0))
+	s := r.SeqSeries()
+	for i := 1; i < len(s); i++ {
+		if s[i].Y < s[i-1].Y {
+			t.Fatalf("series not monotone: %+v", s)
+		}
+	}
+	// Retx at 5ms holds the curve at 200, visible as a flat span.
+	if s[2].Y != 200 {
+		t.Fatalf("retx point y=%v", s[2].Y)
+	}
+}
+
+func TestSeqSeriesAtExternalOrigin(t *testing.T) {
+	r := New("c")
+	r.Add(rec(50*ms, Send, 0, 100, 0))
+	s := r.SeqSeriesAt(30 * ms)
+	if math.Abs(s[0].X-0.02) > 1e-9 {
+		t.Fatalf("x=%v want 0.02", s[0].X)
+	}
+	// Origin after first send clamps at 0 rather than going negative.
+	s2 := r.SeqSeriesAt(60 * ms)
+	if s2[0].X != 0 {
+		t.Fatalf("clamped x=%v", s2[0].X)
+	}
+}
+
+func TestAvgRTTSimple(t *testing.T) {
+	r := New("c")
+	r.Add(rec(0, Send, 0, 100, 0))
+	r.Add(rec(40*ms, AckRx, 0, 0, 100))
+	r.Add(rec(40*ms, Send, 100, 100, 0))
+	r.Add(rec(100*ms, AckRx, 0, 0, 200))
+	got := r.AvgRTTSeconds()
+	want := (0.040 + 0.060) / 2
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("rtt=%v want %v", got, want)
+	}
+}
+
+func TestAvgRTTKarnExcludesRetx(t *testing.T) {
+	r := New("c")
+	r.Add(rec(0, Send, 0, 100, 0))
+	r.Add(rec(200*ms, Retx, 0, 100, 0))
+	r.Add(rec(240*ms, AckRx, 0, 0, 100)) // ambiguous: excluded
+	r.Add(rec(240*ms, Send, 100, 100, 0))
+	r.Add(rec(280*ms, AckRx, 0, 0, 200))
+	got := r.AvgRTTSeconds()
+	if math.Abs(got-0.040) > 1e-9 {
+		t.Fatalf("rtt=%v want 0.040 (Karn)", got)
+	}
+}
+
+func TestAvgRTTCumulativeAckCoversMultiple(t *testing.T) {
+	r := New("c")
+	r.Add(rec(0, Send, 0, 100, 0))
+	r.Add(rec(5*ms, Send, 100, 100, 0))
+	r.Add(rec(50*ms, AckRx, 0, 0, 200))
+	samples := r.RTTSamplesSeconds()
+	if len(samples) != 2 {
+		t.Fatalf("samples=%v", samples)
+	}
+	if math.Abs(samples[0]-0.050) > 1e-9 || math.Abs(samples[1]-0.045) > 1e-9 {
+		t.Fatalf("samples=%v", samples)
+	}
+}
+
+func TestAvgRTTNoSamples(t *testing.T) {
+	r := New("c")
+	r.Add(rec(0, Send, 0, 100, 0))
+	if r.AvgRTTSeconds() != 0 {
+		t.Fatal("no acks -> 0")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	r := New("c")
+	r.Add(rec(0, Send, 1000, 100, 0))
+	r.Add(rec(1*ms, Send, 1100, 100, 0))
+	r.Add(rec(2*ms, Retx, 1000, 100, 0))
+	if got := r.TotalBytes(); got != 200 {
+		t.Fatalf("total=%d", got)
+	}
+}
+
+func makeRunWithRetx(nretx int) *Recorder {
+	r := New("run")
+	r.Add(rec(0, Send, 0, 100, 0))
+	for i := 0; i < nretx; i++ {
+		r.Add(rec(netsim.Time(i+1)*ms, Retx, 0, 100, 0))
+	}
+	r.Add(rec(100*ms, Send, 100, 100, 0))
+	return r
+}
+
+func TestSetLossCaseSelection(t *testing.T) {
+	s := &Set{Runs: []*Recorder{
+		makeRunWithRetx(5),
+		makeRunWithRetx(0),
+		makeRunWithRetx(9),
+		makeRunWithRetx(2),
+		makeRunWithRetx(7),
+	}}
+	if got := s.MinLossRun(); got != 1 {
+		t.Fatalf("min=%d", got)
+	}
+	if got := s.MaxLossRun(); got != 2 {
+		t.Fatalf("max=%d", got)
+	}
+	if got := s.MedianLossRun(); got != 0 { // median of {0,2,5,7,9} is 5
+		t.Fatalf("median=%d", got)
+	}
+}
+
+func TestSetAverageCurve(t *testing.T) {
+	mk := func(scale float64) *Recorder {
+		r := New("r")
+		for i := 0; i < 10; i++ {
+			r.Add(rec(netsim.Time(float64(i)*scale)*ms, Send, int64(i*100), 100, 0))
+		}
+		return r
+	}
+	s := &Set{Runs: []*Recorder{mk(1), mk(2)}}
+	avg := s.AverageCurve(20)
+	if len(avg) != 20 {
+		t.Fatalf("grid=%d", len(avg))
+	}
+	last := avg[len(avg)-1].Y
+	if math.Abs(last-1000) > 1e-6 {
+		t.Fatalf("final avg=%v want 1000", last)
+	}
+	for i := 1; i < len(avg); i++ {
+		if avg[i].Y < avg[i-1].Y-1e-9 {
+			t.Fatal("average curve not monotone")
+		}
+	}
+}
+
+func TestSetAvgRTT(t *testing.T) {
+	r1 := New("a")
+	r1.Add(rec(0, Send, 0, 100, 0))
+	r1.Add(rec(40*ms, AckRx, 0, 0, 100))
+	r2 := New("b")
+	r2.Add(rec(0, Send, 0, 100, 0))
+	r2.Add(rec(80*ms, AckRx, 0, 0, 100))
+	s := &Set{Runs: []*Recorder{r1, r2}}
+	if got := s.AvgRTTSeconds(); math.Abs(got-0.060) > 1e-9 {
+		t.Fatalf("avg rtt=%v", got)
+	}
+}
+
+func TestSetOrigins(t *testing.T) {
+	r := New("a")
+	r.Add(rec(100*ms, Send, 0, 100, 0))
+	s := &Set{Runs: []*Recorder{r}, Origins: []netsim.Time{0}}
+	curves := s.SeqCurves()
+	if math.Abs(curves[0][0].X-0.1) > 1e-9 {
+		t.Fatalf("x=%v", curves[0][0].X)
+	}
+}
+
+func TestPlotASCIIRenders(t *testing.T) {
+	s := stats.Series{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 4}}
+	out := PlotASCII("title", 40, 10, map[string]stats.Series{"a": s, "b": s})
+	if !strings.Contains(out, "title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "= a") || !strings.Contains(out, "= b") {
+		t.Fatal("missing legend")
+	}
+	if len(strings.Split(out, "\n")) < 12 {
+		t.Fatal("plot too short")
+	}
+}
+
+func TestPlotASCIIEmptySeries(t *testing.T) {
+	out := PlotASCII("empty", 20, 5, map[string]stats.Series{"a": nil})
+	if out == "" {
+		t.Fatal("should still render frame")
+	}
+}
+
+func TestMaxSendGap(t *testing.T) {
+	r := New("c")
+	r.Add(rec(0, Send, 0, 100, 0))
+	r.Add(rec(10*ms, Send, 100, 100, 0))
+	r.Add(rec(500*ms, Retx, 0, 100, 0))
+	r.Add(rec(510*ms, AckRx, 0, 0, 200)) // acks don't count
+	if got := r.MaxSendGapSeconds(); got != 0.49 {
+		t.Fatalf("gap=%v", got)
+	}
+	var nilRec *Recorder
+	if nilRec.MaxSendGapSeconds() != 0 {
+		t.Fatal("nil should be 0")
+	}
+}

@@ -1,0 +1,315 @@
+// Package wire defines the LSL on-the-wire protocol: the session-open
+// header that rides at the front of every sublink's TCP stream, the
+// accept/reject frames that travel back through the cascade, and the MD5
+// integrity trailer exchanged between end systems.
+//
+// The paper's architecture (§III): a session is identified by a 128-bit
+// session identifier; the path through the network is an initiator-
+// specified "loose source route" through some number of session-layer
+// routers (depots); an MD5 digest over the complete stream guards
+// end-to-end integrity (data corruption surviving TCP checksums is a real
+// phenomenon — the paper cites Paxson).
+//
+// All integers are big-endian. The header is bounded (MaxHeaderLen) and
+// the decoder never panics on malformed input.
+package wire
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	// Version is the protocol version carried in every frame.
+	Version = 1
+	// MaxRouteEntries bounds loose-source-route length.
+	MaxRouteEntries = 16
+	// MaxAddrLen bounds one route entry.
+	MaxAddrLen = 255
+	// MaxHeaderLen bounds the whole encoded open header.
+	MaxHeaderLen = 4096
+	// DigestLen is the MD5 trailer size.
+	DigestLen = 16
+	// UnknownLength marks a stream of unspecified content length.
+	UnknownLength = ^uint64(0)
+)
+
+var (
+	magicOpen   = [4]byte{'L', 'S', 'L', '1'}
+	magicAccept = [4]byte{'L', 'S', 'L', 'A'}
+)
+
+// Errors returned by decoders.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrTruncated  = errors.New("wire: truncated frame")
+	ErrTooLarge   = errors.New("wire: frame exceeds limits")
+	ErrBadRoute   = errors.New("wire: invalid route")
+)
+
+// Flag bits in the open header.
+const (
+	// FlagDigest requests end-to-end MD5 verification (requires a known
+	// content length so the receiver can find the trailer).
+	FlagDigest uint16 = 1 << 0
+	// FlagResume asks the listener to report its received offset so the
+	// initiator can continue an interrupted session.
+	FlagResume uint16 = 1 << 1
+	// FlagEager tells depots the initiator will stream without waiting
+	// for the end-to-end accept.
+	FlagEager uint16 = 1 << 2
+	// FlagStaged asks the first depot to take custody: it accepts the
+	// session itself, stores the complete payload, and delivers it onward
+	// asynchronously — the paper's "the ultimate sending and receiving
+	// ports need not exist at the same time". Requires a known content
+	// length.
+	FlagStaged uint16 = 1 << 3
+)
+
+// SessionID is the 128-bit session identifier.
+type SessionID [16]byte
+
+// NewSessionID draws a random identifier.
+func NewSessionID() SessionID {
+	var id SessionID
+	if _, err := rand.Read(id[:]); err != nil {
+		// crypto/rand failing is unrecoverable; fall back to zero ID
+		// rather than panicking inside a library.
+		return SessionID{}
+	}
+	return id
+}
+
+// String renders the ID as lowercase hex.
+func (id SessionID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseSessionID parses the hex form produced by String.
+func ParseSessionID(s string) (SessionID, error) {
+	var id SessionID
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(id) {
+		return id, fmt.Errorf("wire: bad session id %q", s)
+	}
+	copy(id[:], b)
+	return id, nil
+}
+
+// OpenHeader is the session-open frame sent at the front of each sublink
+// stream. Route holds the remaining hops *including* the final target;
+// HopIndex is the position of the next hop to dial, advanced by each depot
+// as it forwards the header.
+type OpenHeader struct {
+	Flags      uint16
+	Session    SessionID
+	HopIndex   uint8
+	Route      []string
+	ContentLen uint64 // UnknownLength for open-ended streams
+	Offset     uint64 // resume offset (bytes already delivered end-to-end)
+}
+
+// RemainingHops returns the hops not yet traversed, including the target.
+func (h *OpenHeader) RemainingHops() []string {
+	if int(h.HopIndex) >= len(h.Route) {
+		return nil
+	}
+	return h.Route[h.HopIndex:]
+}
+
+// NextHop returns the address the receiving depot should dial and whether
+// one exists (false means the receiver is the final target).
+func (h *OpenHeader) NextHop() (string, bool) {
+	i := int(h.HopIndex) + 1
+	if i < len(h.Route) {
+		return h.Route[i], true
+	}
+	return "", false
+}
+
+// Final reports whether the receiver of this header is the session target.
+func (h *OpenHeader) Final() bool {
+	return int(h.HopIndex) >= len(h.Route)-1
+}
+
+// Validate checks structural limits before encoding.
+func (h *OpenHeader) Validate() error {
+	if len(h.Route) == 0 || len(h.Route) > MaxRouteEntries {
+		return ErrBadRoute
+	}
+	if int(h.HopIndex) >= len(h.Route) {
+		return ErrBadRoute
+	}
+	for _, a := range h.Route {
+		if a == "" || len(a) > MaxAddrLen {
+			return ErrBadRoute
+		}
+	}
+	return nil
+}
+
+// fixed part: magic(4) version(1) flags(2) headerLen(2) session(16)
+// hopIndex(1) routeLen(1) contentLen(8) offset(8) = 43 bytes.
+const openFixedLen = 43
+
+// Encode serializes the header.
+func (h *OpenHeader) Encode() ([]byte, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Write(magicOpen[:])
+	buf.WriteByte(Version)
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], h.Flags)
+	buf.Write(u16[:])
+	buf.Write([]byte{0, 0}) // headerLen placeholder
+	buf.Write(h.Session[:])
+	buf.WriteByte(h.HopIndex)
+	buf.WriteByte(uint8(len(h.Route)))
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], h.ContentLen)
+	buf.Write(u64[:])
+	binary.BigEndian.PutUint64(u64[:], h.Offset)
+	buf.Write(u64[:])
+	for _, a := range h.Route {
+		binary.BigEndian.PutUint16(u16[:], uint16(len(a)))
+		buf.Write(u16[:])
+		buf.WriteString(a)
+	}
+	out := buf.Bytes()
+	if len(out) > MaxHeaderLen {
+		return nil, ErrTooLarge
+	}
+	binary.BigEndian.PutUint16(out[7:9], uint16(len(out)))
+	return out, nil
+}
+
+// ReadOpenHeader reads and decodes an open header from r.
+func ReadOpenHeader(r io.Reader) (*OpenHeader, error) {
+	fixed := make([]byte, openFixedLen)
+	if _, err := io.ReadFull(r, fixed); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrTruncated
+		}
+		return nil, err
+	}
+	if !bytes.Equal(fixed[:4], magicOpen[:]) {
+		return nil, ErrBadMagic
+	}
+	if fixed[4] != Version {
+		return nil, ErrBadVersion
+	}
+	h := &OpenHeader{Flags: binary.BigEndian.Uint16(fixed[5:7])}
+	total := int(binary.BigEndian.Uint16(fixed[7:9]))
+	if total < openFixedLen || total > MaxHeaderLen {
+		return nil, ErrTooLarge
+	}
+	copy(h.Session[:], fixed[9:25])
+	h.HopIndex = fixed[25]
+	routeLen := int(fixed[26])
+	h.ContentLen = binary.BigEndian.Uint64(fixed[27:35])
+	h.Offset = binary.BigEndian.Uint64(fixed[35:43])
+	if routeLen == 0 || routeLen > MaxRouteEntries {
+		return nil, ErrBadRoute
+	}
+	rest := make([]byte, total-openFixedLen)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return nil, ErrTruncated
+	}
+	for i := 0; i < routeLen; i++ {
+		if len(rest) < 2 {
+			return nil, ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if n == 0 || n > MaxAddrLen || len(rest) < n {
+			return nil, ErrBadRoute
+		}
+		h.Route = append(h.Route, string(rest[:n]))
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, ErrBadRoute
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Accept codes.
+const (
+	CodeOK uint8 = iota
+	// CodeRejectBusy is sent by a depot refusing admission.
+	CodeRejectBusy
+	// CodeRejectRoute is sent when the next hop cannot be reached.
+	CodeRejectRoute
+	// CodeRejectProto is sent on malformed or unsupported headers.
+	CodeRejectProto
+)
+
+// AcceptFrame travels backward through the cascade once the final target
+// has the session open. Offset reports the target's already-received byte
+// count (non-zero only for resumed sessions).
+type AcceptFrame struct {
+	Code    uint8
+	Session SessionID
+	Offset  uint64
+}
+
+// acceptLen: magic(4) version(1) code(1) session(16) offset(8) = 30.
+const acceptLen = 30
+
+// Encode serializes the accept frame.
+func (a *AcceptFrame) Encode() []byte {
+	out := make([]byte, acceptLen)
+	copy(out, magicAccept[:])
+	out[4] = Version
+	out[5] = a.Code
+	copy(out[6:22], a.Session[:])
+	binary.BigEndian.PutUint64(out[22:30], a.Offset)
+	return out
+}
+
+// ReadAcceptFrame reads and decodes an accept frame from r.
+func ReadAcceptFrame(r io.Reader) (*AcceptFrame, error) {
+	buf := make([]byte, acceptLen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrTruncated
+		}
+		return nil, err
+	}
+	if !bytes.Equal(buf[:4], magicAccept[:]) {
+		return nil, ErrBadMagic
+	}
+	if buf[4] != Version {
+		return nil, ErrBadVersion
+	}
+	a := &AcceptFrame{Code: buf[5]}
+	copy(a.Session[:], buf[6:22])
+	a.Offset = binary.BigEndian.Uint64(buf[22:30])
+	return a, nil
+}
+
+// CodeString names an accept code for diagnostics.
+func CodeString(c uint8) string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeRejectBusy:
+		return "busy"
+	case CodeRejectRoute:
+		return "route-unreachable"
+	case CodeRejectProto:
+		return "protocol-error"
+	default:
+		return fmt.Sprintf("code-%d", c)
+	}
+}

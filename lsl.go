@@ -1,0 +1,115 @@
+// Package lsl is the public API of the Logistical Session Layer
+// reproduction: a session layer that carries one conversation over
+// multiple cascaded TCP connections through intermediate depots, after
+// Swany & Wolski, "Improving Throughput with Cascaded TCP Connections:
+// the Logistical Session Layer".
+//
+// The package re-exports three coherent surfaces:
+//
+//   - The session layer itself (this file): Dial, Listen, Route, the depot
+//     daemon — real cascaded TCP over the net package.
+//   - Path planning (route.go): depot graphs, NWS-style forecasting, and
+//     the transfer-time objective that decides when a cascade helps.
+//   - The evaluation substrate (sim.go): the deterministic network + TCP
+//     simulator and the runners that regenerate every figure of the
+//     paper's evaluation.
+//
+// Quickstart:
+//
+//	ln, _ := lsl.Listen(":7000")                        // target
+//	d := lsl.NewDepot(lsl.DepotConfig{})                // depot
+//	go d.ListenAndServe(":5000")
+//	c, _ := lsl.Dial(ctx, lsl.Route{                    // initiator
+//	        Via:    []string{"depot:5000"},
+//	        Target: "server:7000",
+//	}, lsl.WithDigest(), lsl.WithContentLength(size))
+//	io.Copy(c, data)
+//	c.CloseWrite()
+package lsl
+
+import (
+	"context"
+	"net"
+
+	"lsl/internal/core"
+	"lsl/internal/depot"
+	"lsl/internal/wire"
+)
+
+// Route is a loose source route: depots to traverse, then the target.
+type Route = core.Route
+
+// Conn is the initiator's end of a session (see core.Conn).
+type Conn = core.Conn
+
+// ServerConn is the target's end of a session sublink.
+type ServerConn = core.ServerConn
+
+// Listener accepts sessions at a target.
+type Listener = core.Listener
+
+// SessionID is the 128-bit session identifier.
+type SessionID = wire.SessionID
+
+// Option tunes Dial.
+type Option = core.Option
+
+// Dialer lets tests and emulators replace the transport dialer.
+type Dialer = core.Dialer
+
+// Depot is the lsd forwarding daemon.
+type Depot = depot.Depot
+
+// DepotConfig tunes a depot.
+type DepotConfig = depot.Config
+
+// DepotStats is a depot counter snapshot.
+type DepotStats = depot.Stats
+
+// Re-exported errors.
+var (
+	// ErrRejected reports a depot or target refusing the session.
+	ErrRejected = core.ErrRejected
+	// ErrDigestMismatch reports end-to-end corruption caught by the MD5
+	// trailer.
+	ErrDigestMismatch = core.ErrDigestMismatch
+)
+
+// Dial opens a session along route (see core.Dial for the protocol).
+func Dial(ctx context.Context, route Route, opts ...Option) (*Conn, error) {
+	return core.Dial(ctx, route, opts...)
+}
+
+// Listen starts a session target on addr.
+func Listen(addr string) (*Listener, error) { return core.Listen(addr) }
+
+// NewListener wraps an existing net.Listener as a session target.
+func NewListener(ln net.Listener) *Listener { return core.NewListener(ln) }
+
+// NewDepot builds an lsd daemon instance.
+func NewDepot(cfg DepotConfig) *Depot { return depot.New(cfg) }
+
+// NewSessionID draws a fresh random session identifier.
+func NewSessionID() SessionID { return wire.NewSessionID() }
+
+// Dial options, re-exported.
+var (
+	// WithDigest enables the end-to-end MD5 trailer.
+	WithDigest = core.WithDigest
+	// WithContentLength declares the payload size (required for digest).
+	WithContentLength = core.WithContentLength
+	// WithEager streams without waiting for the end-to-end accept.
+	WithEager = core.WithEager
+	// WithSession pins the session ID (for resumption).
+	WithSession = core.WithSession
+	// WithResume continues an interrupted session from the target's
+	// confirmed offset.
+	WithResume = core.WithResume
+	// WithStaged requests depot custody with asynchronous delivery: the
+	// receiver need not be reachable while the initiator uploads.
+	WithStaged = core.WithStaged
+	// WithDialer injects a transport dialer.
+	WithDialer = core.WithDialer
+	// WithHandshakeTimeout bounds the session handshake.
+	WithHandshakeTimeout = core.WithHandshakeTimeout
+)

@@ -1,0 +1,60 @@
+package lsl
+
+import (
+	"lsl/internal/nws"
+	"lsl/internal/route"
+	"lsl/internal/tcpmodel"
+)
+
+// The planning surface: depot graphs, forecasting, and the transfer-time
+// objective that decides when to cascade.
+
+// Graph is the depot overlay map used for planning.
+type Graph = route.Graph
+
+// GraphNode is a host or depot vertex.
+type GraphNode = route.Node
+
+// NodeID names a graph vertex.
+type NodeID = route.NodeID
+
+// LinkMetrics annotates a graph edge with forecast performance.
+type LinkMetrics = route.Metrics
+
+// Plan is a chosen session route with predicted completion time.
+type Plan = route.Plan
+
+// Forecaster predicts the next value of a measurement stream.
+type Forecaster = nws.Forecaster
+
+// ForecastSelector is the NWS-style dynamic predictor selector.
+type ForecastSelector = nws.Selector
+
+// ForecastSeries is a named measurement stream with its selector.
+type ForecastSeries = nws.Series
+
+// PathModel is the analytic per-hop TCP model used as the planning
+// objective (Mathis steady state + slow-start episode model).
+type PathModel = tcpmodel.PathParams
+
+// NewGraph returns an empty planning graph.
+func NewGraph() *Graph { return route.NewGraph() }
+
+// NewForecastSeries builds a measurement stream with the default NWS
+// predictor bank.
+func NewForecastSeries(name string) *ForecastSeries { return nws.NewSeries(name) }
+
+// NewForecastSelector builds a selector over the default predictor bank.
+func NewForecastSelector() *ForecastSelector { return nws.NewSelector() }
+
+// MathisThroughputBps is the macroscopic steady-state TCP bound
+// MSS/RTT * C/sqrt(p), in bits per second.
+func MathisThroughputBps(mssBytes int, rttSeconds, lossProb float64) float64 {
+	return tcpmodel.MathisThroughputBps(mssBytes, rttSeconds, lossProb)
+}
+
+// CascadePredictSeconds estimates a cascaded transfer's completion time
+// over the given per-hop models.
+func CascadePredictSeconds(size int64, hops []PathModel, depotDelaySeconds float64) float64 {
+	return tcpmodel.CascadeTransferSeconds(size, hops, depotDelaySeconds)
+}

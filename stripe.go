@@ -1,0 +1,93 @@
+package lsl
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"lsl/internal/core"
+	"lsl/internal/stripe"
+	"lsl/internal/wire"
+)
+
+// The striped-session surface (paper §VII future work: session-layer
+// framing and parallel TCP streams). A striped transfer carries one
+// logical stream over several concurrent sessions, each with its own
+// loose source route — parallel sockets and multi-path in one mechanism.
+
+// StripeGroupHeader opens each stripe stream.
+type StripeGroupHeader = stripe.GroupHeader
+
+// StripeReceiver reassembles a stripe group.
+type StripeReceiver = stripe.Receiver
+
+// NewStripeReceiver builds a reassembler writing the logical stream to out.
+func NewStripeReceiver(out io.Writer) *StripeReceiver { return stripe.NewReceiver(out) }
+
+// StripedSend opens one session per route and stripes total bytes from src
+// across them with frame granularity frameSize (<=0 uses the default).
+// Integrity of the logical stream rides on per-frame offsets plus TCP
+// checksums; the per-session MD5 trailer is not used in striped mode
+// because stripe lengths are data-dependent.
+func StripedSend(ctx context.Context, routes []Route, src io.Reader, total int64, frameSize int, opts ...Option) error {
+	if len(routes) == 0 {
+		return fmt.Errorf("lsl: striped send needs at least one route")
+	}
+	group := wire.NewSessionID()
+	conns := make([]*core.Conn, 0, len(routes))
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	writers := make([]io.Writer, 0, len(routes))
+	for i, r := range routes {
+		c, err := core.Dial(ctx, r, opts...)
+		if err != nil {
+			return fmt.Errorf("lsl: stripe %d: %w", i, err)
+		}
+		conns = append(conns, c)
+		writers = append(writers, c)
+	}
+	if err := stripe.Send(group, writers, src, total, frameSize); err != nil {
+		return err
+	}
+	for _, c := range conns {
+		if err := c.CloseWrite(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StripedReceive accepts stripes sessions from ln and reassembles the
+// logical stream into out, returning the byte count.
+func StripedReceive(ln *Listener, stripes int, out io.Writer) (int64, error) {
+	recv := stripe.NewReceiver(out)
+	var wg sync.WaitGroup
+	errs := make(chan error, stripes)
+	for i := 0; i < stripes; i++ {
+		sc, err := ln.Accept()
+		if err != nil {
+			return recv.Written(), err
+		}
+		wg.Add(1)
+		go func(sc *ServerConn) {
+			defer wg.Done()
+			defer sc.Close()
+			if err := recv.Attach(sc); err != nil {
+				errs <- err
+			}
+		}(sc)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return recv.Written(), err
+	}
+	if !recv.Complete() {
+		return recv.Written(), fmt.Errorf("lsl: striped stream incomplete: %d bytes", recv.Written())
+	}
+	return recv.Written(), nil
+}

@@ -1,0 +1,91 @@
+package lsl_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"lsl"
+)
+
+// TestStripedTransferThroughDepots stripes one logical stream over three
+// sessions, each routed through its own depot — parallel TCP streams plus
+// multi-path loose source routing in one transfer (paper §VII).
+func TestStripedTransferThroughDepots(t *testing.T) {
+	ln, err := lsl.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	const stripes = 3
+	routes := make([]lsl.Route, stripes)
+	for i := 0; i < stripes; i++ {
+		dln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := lsl.NewDepot(lsl.DepotConfig{})
+		go d.Serve(dln)
+		defer d.Close()
+		routes[i] = lsl.Route{Via: []string{dln.Addr().String()}, Target: ln.Addr().String()}
+	}
+
+	payload := make([]byte, 2<<20)
+	rand.New(rand.NewSource(42)).Read(payload)
+
+	type result struct {
+		n   int64
+		err error
+		buf *bytes.Buffer
+	}
+	got := make(chan result, 1)
+	go func() {
+		var out bytes.Buffer
+		n, err := lsl.StripedReceive(ln, stripes, &out)
+		got <- result{n, err, &out}
+	}()
+
+	if err := lsl.StripedSend(context.Background(), routes,
+		bytes.NewReader(payload), int64(len(payload)), 64<<10); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.n != int64(len(payload)) {
+			t.Fatalf("received %d", r.n)
+		}
+		if !bytes.Equal(r.buf.Bytes(), payload) {
+			t.Fatal("striped payload mismatch")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestStripedSendNeedsRoutes(t *testing.T) {
+	if err := lsl.StripedSend(context.Background(), nil, bytes.NewReader(nil), 0, 0); err == nil {
+		t.Fatal("no routes accepted")
+	}
+}
+
+// TestParallelStreamsPublicAPI exercises the simulator's PSockets baseline
+// through the facade.
+func TestParallelStreamsPublicAPI(t *testing.T) {
+	e := lsl.NewSimEngine(1)
+	const msec = 1_000_000
+	f := lsl.NewSimLink(e, "f", 1e8, 20*msec, 0, 5e-4)
+	r := lsl.NewSimLink(e, "r", 0, 20*msec, 0, 0)
+	res := lsl.RunSimParallel(e, lsl.NewSimPath(e, f), lsl.NewSimPath(e, r),
+		lsl.DefaultTCPConfig(), 4, 8<<20)
+	if res.Bytes != 8<<20 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+}
