@@ -8,12 +8,18 @@
 //
 //	lsd -listen :5000 [-buffer 262144] [-max-sessions 256] [-v]
 //	lsd -listen :5000 -stats 10s     # print counters periodically
+//	lsd -listen :5000 -admin :9090   # /metrics /healthz /sessions /debug/pprof
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"lsl"
@@ -22,8 +28,10 @@ import (
 func main() {
 	var (
 		listen      = flag.String("listen", ":5000", "address to accept LSL sessions on")
+		admin       = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /sessions, /debug/pprof (empty = disabled)")
 		buffer      = flag.Int("buffer", 256<<10, "per-direction relay buffer in bytes")
 		maxSessions = flag.Int("max-sessions", 256, "concurrent session admission limit")
+		recent      = flag.Int("recent-sessions", 64, "finished sessions kept for /sessions")
 		statsEvery  = flag.Duration("stats", 0, "print counters at this interval (0 = off)")
 		verbose     = flag.Bool("v", false, "log each session")
 	)
@@ -31,27 +39,66 @@ func main() {
 
 	logger := log.New(os.Stderr, "lsd ", log.LstdFlags)
 	cfg := lsl.DepotConfig{
-		BufferSize:  *buffer,
-		MaxSessions: *maxSessions,
+		BufferSize:     *buffer,
+		MaxSessions:    *maxSessions,
+		RecentSessions: *recent,
 	}
 	if *verbose {
 		cfg.Logf = logger.Printf
 	}
 	d := lsl.NewDepot(cfg)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *statsEvery > 0 {
+		ticker := time.NewTicker(*statsEvery)
 		go func() {
-			for range time.Tick(*statsEvery) {
-				s := d.Stats()
-				logger.Printf("sessions: active=%d accepted=%d completed=%d rejected(busy=%d route=%d proto=%d) bytes(fwd=%d back=%d)",
-					s.Active, s.Accepted, s.Completed, s.RejectedBusy, s.RejectedRoute, s.RejectedProto,
-					s.BytesForward, s.BytesBackward)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					s := d.Stats()
+					logger.Printf("sessions: active=%d accepted=%d completed=%d rejected(busy=%d route=%d proto=%d) bytes(fwd=%d back=%d) maxbuf=%d",
+						s.Active, s.Accepted, s.Completed, s.RejectedBusy, s.RejectedRoute, s.RejectedProto,
+						s.BytesForward, s.BytesBackward, s.MaxBuffered)
+				}
 			}
 		}()
 	}
 
-	logger.Printf("depot listening on %s (buffer=%d, max-sessions=%d)", *listen, *buffer, *maxSessions)
-	if err := d.ListenAndServe(*listen); err != nil {
-		logger.Fatalf("serve: %v", err)
+	var adminSrv *http.Server
+	if *admin != "" {
+		adminSrv = &http.Server{Addr: *admin, Handler: lsl.DepotAdminHandler(d)}
+		go func() {
+			logger.Printf("admin endpoint on %s (/metrics /healthz /sessions /debug/pprof)", *admin)
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("admin server: %v", err)
+			}
+		}()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() {
+		logger.Printf("depot listening on %s (buffer=%d, max-sessions=%d)", *listen, *buffer, *maxSessions)
+		serveErr <- d.ListenAndServe(*listen)
+	}()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			logger.Fatalf("serve: %v", err)
+		}
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+	}
+
+	d.Close()
+	if adminSrv != nil {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		adminSrv.Shutdown(shutdownCtx)
+		cancel()
 	}
 }

@@ -1,0 +1,41 @@
+package depot
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminHandler serves a depot's operational surface for scrapers and
+// operators:
+//
+//	/metrics      Prometheus text exposition (counters, gauges, histograms)
+//	/healthz      liveness probe ("ok")
+//	/sessions     JSON snapshot of live sessions + the recent ring
+//	/debug/pprof  the standard Go profiling endpoints
+//
+// The handler is safe to serve while the depot is relaying traffic; all
+// reads are snapshots and never block session goroutines.
+func AdminHandler(d *Depot) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		d.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(d.Sessions())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -11,6 +11,11 @@
 // open header. Admission control (the paper's §VII scalability note) caps
 // concurrent sessions and rejects the excess with a busy code rather than
 // degrading every flow.
+//
+// A depot is observable: every instance carries a metrics registry
+// (Prometheus text format via Metrics), a live-session registry with a
+// ring of recently finished sessions (Sessions), and an HTTP admin
+// surface (AdminHandler) exposing both plus pprof.
 package depot
 
 import (
@@ -23,6 +28,7 @@ import (
 	"time"
 
 	"lsl/internal/core"
+	"lsl/internal/metrics"
 	"lsl/internal/wire"
 )
 
@@ -37,6 +43,13 @@ type Config struct {
 	DialTimeout time.Duration
 	// HandshakeTimeout bounds the header read (default 15s).
 	HandshakeTimeout time.Duration
+	// WriteTimeout bounds depot-originated control-frame writes (accept
+	// and reject frames) so a stalled peer cannot pin a handler goroutine
+	// (default 5s).
+	WriteTimeout time.Duration
+	// RecentSessions sizes the finished-session ring kept for /sessions
+	// (default 64).
+	RecentSessions int
 	// Dial overrides the next-hop dialer (tests, emulation).
 	Dial core.Dialer
 	// Logf, when set, receives one line per session event.
@@ -63,6 +76,12 @@ func (c Config) withDefaults() Config {
 	if c.HandshakeTimeout == 0 {
 		c.HandshakeTimeout = 15 * time.Second
 	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.RecentSessions == 0 {
+		c.RecentSessions = DefaultRecentSessions
+	}
 	if c.Dial == nil {
 		var d net.Dialer
 		c.Dial = d.DialContext
@@ -81,38 +100,57 @@ func (c Config) withDefaults() Config {
 
 // Stats is a snapshot of depot counters.
 type Stats struct {
-	Accepted        uint64
-	RejectedBusy    uint64
-	RejectedRoute   uint64
-	RejectedProto   uint64
-	Completed       uint64
-	BytesForward    uint64
-	BytesBackward   uint64
-	Active          int64
-	MaxBuffered     int64 // high-water mark of a single relay buffer in use
-	Staged          uint64
-	StagedDelivered uint64
-	StagedAborted   uint64
-	StagedBytes     uint64
+	Accepted      uint64
+	RejectedBusy  uint64
+	RejectedRoute uint64
+	RejectedProto uint64
+	Completed     uint64
+	BytesForward  uint64
+	BytesBackward uint64
+	Active        int64
+	// MaxBuffered is the high-water mark of a single relay-buffer fill —
+	// the largest read the relay loop has moved in one step, bounded by
+	// the configured buffer size.
+	MaxBuffered int64
+	// ControlWriteFailures counts accept/reject frames dropped because the
+	// peer stalled past the write deadline.
+	ControlWriteFailures uint64
+	Staged               uint64
+	StagedDelivered      uint64
+	StagedAborted        uint64
+	StagedBytes          uint64
 }
+
+// Histogram bucket bounds for the admin metrics.
+var (
+	durationBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
+	byteBuckets     = []float64{1 << 10, 16 << 10, 256 << 10, 4 << 20, 64 << 20, 1 << 30}
+)
 
 // Depot is a running daemon instance.
 type Depot struct {
 	cfg Config
 
-	accepted      atomic.Uint64
-	rejectedBusy  atomic.Uint64
-	rejectedRoute atomic.Uint64
-	rejectedProto atomic.Uint64
-	completed     atomic.Uint64
-	bytesFwd      atomic.Uint64
-	bytesBack     atomic.Uint64
-	active        atomic.Int64
+	reg      *metrics.Registry
+	sessions *sessionRegistry
 
-	staged          atomic.Uint64
-	stagedDelivered atomic.Uint64
-	stagedAborted   atomic.Uint64
-	stagedBytes     atomic.Uint64
+	accepted      *metrics.Counter
+	rejectedBusy  *metrics.Counter
+	rejectedRoute *metrics.Counter
+	rejectedProto *metrics.Counter
+	completed     *metrics.Counter
+	bytesFwd      *metrics.Counter
+	bytesBack     *metrics.Counter
+	ctrlWriteFail *metrics.Counter
+	active        *metrics.Gauge
+	relayHigh     *metrics.Gauge
+	sessionDur    *metrics.HistogramVec
+	sessionBytes  *metrics.Histogram
+
+	staged          *metrics.Counter
+	stagedDelivered *metrics.Counter
+	stagedAborted   *metrics.Counter
+	stagedBytes     *metrics.Counter
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -122,27 +160,73 @@ type Depot struct {
 
 // New builds a depot with cfg.
 func New(cfg Config) *Depot {
-	return &Depot{cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	reg := metrics.NewRegistry()
+	d := &Depot{
+		cfg:      cfg,
+		reg:      reg,
+		sessions: newSessionRegistry(cfg.RecentSessions),
+	}
+	d.accepted = reg.Counter("lsd_sessions_accepted_total",
+		"Sessions admitted and forwarded toward their next hop.")
+	rejected := reg.CounterVec("lsd_sessions_rejected_total",
+		"Sessions rejected, by reason.", "reason")
+	d.rejectedBusy = rejected.With("busy")
+	d.rejectedRoute = rejected.With("route")
+	d.rejectedProto = rejected.With("proto")
+	d.completed = reg.Counter("lsd_sessions_completed_total",
+		"Relay sessions fully drained in both directions.")
+	bytes := reg.CounterVec("lsd_relay_bytes_total",
+		"Bytes relayed, by direction (forward is toward the target).", "direction")
+	d.bytesFwd = bytes.With("forward")
+	d.bytesBack = bytes.With("backward")
+	d.ctrlWriteFail = reg.Counter("lsd_control_write_failures_total",
+		"Accept/reject frames dropped because the peer stalled past the write deadline.")
+	d.active = reg.Gauge("lsd_sessions_active",
+		"Relay sessions in flight right now.")
+	d.relayHigh = reg.Gauge("lsd_relay_buffer_high_water_bytes",
+		"Largest single relay-buffer fill observed, bounded by the configured buffer size.")
+	d.sessionDur = reg.HistogramVec("lsd_session_duration_seconds",
+		"Session duration from header receipt to teardown, by outcome.", "outcome", durationBuckets)
+	d.sessionBytes = reg.Histogram("lsd_session_bytes",
+		"Bytes (both directions) moved by one finished relay session.", byteBuckets)
+	d.staged = reg.Counter("lsd_staged_sessions_total",
+		"Staged sessions taken into custody.")
+	d.stagedDelivered = reg.Counter("lsd_staged_delivered_total",
+		"Staged sessions delivered downstream.")
+	d.stagedAborted = reg.Counter("lsd_staged_aborted_total",
+		"Staged sessions abandoned past the stage deadline.")
+	d.stagedBytes = reg.Counter("lsd_staged_bytes_total",
+		"Bytes taken into staged custody.")
+	return d
 }
 
 // Stats snapshots the counters.
 func (d *Depot) Stats() Stats {
 	return Stats{
-		Accepted:        d.accepted.Load(),
-		RejectedBusy:    d.rejectedBusy.Load(),
-		RejectedRoute:   d.rejectedRoute.Load(),
-		RejectedProto:   d.rejectedProto.Load(),
-		Completed:       d.completed.Load(),
-		BytesForward:    d.bytesFwd.Load(),
-		BytesBackward:   d.bytesBack.Load(),
-		Active:          d.active.Load(),
-		MaxBuffered:     int64(d.cfg.BufferSize),
-		Staged:          d.staged.Load(),
-		StagedDelivered: d.stagedDelivered.Load(),
-		StagedAborted:   d.stagedAborted.Load(),
-		StagedBytes:     d.stagedBytes.Load(),
+		Accepted:             d.accepted.Value(),
+		RejectedBusy:         d.rejectedBusy.Value(),
+		RejectedRoute:        d.rejectedRoute.Value(),
+		RejectedProto:        d.rejectedProto.Value(),
+		Completed:            d.completed.Value(),
+		BytesForward:         d.bytesFwd.Value(),
+		BytesBackward:        d.bytesBack.Value(),
+		Active:               d.active.Value(),
+		MaxBuffered:          d.relayHigh.Value(),
+		ControlWriteFailures: d.ctrlWriteFail.Value(),
+		Staged:               d.staged.Value(),
+		StagedDelivered:      d.stagedDelivered.Value(),
+		StagedAborted:        d.stagedAborted.Value(),
+		StagedBytes:          d.stagedBytes.Value(),
 	}
 }
+
+// Metrics exposes the depot's metric registry (rendered by the admin
+// handler's /metrics endpoint).
+func (d *Depot) Metrics() *metrics.Registry { return d.reg }
+
+// Sessions snapshots live sessions and the recently-finished ring.
+func (d *Depot) Sessions() Snapshot { return d.sessions.snapshot() }
 
 func (d *Depot) logf(format string, args ...interface{}) {
 	if d.cfg.Logf != nil {
@@ -213,19 +297,55 @@ func (d *Depot) Close() error {
 	return err
 }
 
+// writeControl writes an accept/reject frame under the control write
+// deadline so a stalled peer cannot pin the handler, counting drops.
+func (d *Depot) writeControl(c netConnLike, f *wire.AcceptFrame) bool {
+	c.SetWriteDeadline(time.Now().Add(d.cfg.WriteTimeout))
+	_, err := c.Write(f.Encode())
+	c.SetWriteDeadline(time.Time{})
+	if err != nil {
+		d.ctrlWriteFail.Inc()
+		d.logf("depot: session %s %s frame write failed: %v", f.Session, wire.CodeString(f.Code), err)
+	}
+	return err == nil
+}
+
 func (d *Depot) reject(nc net.Conn, id wire.SessionID, code uint8) {
-	nc.Write((&wire.AcceptFrame{Code: code, Session: id}).Encode())
+	d.writeControl(nc, &wire.AcceptFrame{Code: code, Session: id})
 	nc.Close()
+}
+
+// finishRejected records a session that never went live: ring entry plus
+// the per-outcome duration histogram.
+func (d *Depot) finishRejected(hdr *wire.OpenHeader, peer, outcome string, start time.Time) {
+	dur := time.Since(start)
+	info := SessionInfo{
+		Kind:            KindRelay,
+		Peer:            peer,
+		Started:         start,
+		Outcome:         outcome,
+		DurationSeconds: dur.Seconds(),
+	}
+	if hdr != nil {
+		info.ID = hdr.Session.String()
+		info.Hop = int(hdr.HopIndex)
+		info.RouteLen = len(hdr.Route)
+	}
+	d.sessions.record(info)
+	d.sessionDur.With(outcome).Observe(dur.Seconds())
 }
 
 // handle runs one session: header, admission, next-hop dial, relay.
 func (d *Depot) handle(up net.Conn) {
+	start := time.Now()
+	peer := remoteAddr(up)
 	up.SetReadDeadline(time.Now().Add(d.cfg.HandshakeTimeout))
 	hdr, err := wire.ReadOpenHeader(up)
 	if err != nil {
-		d.rejectedProto.Add(1)
+		d.rejectedProto.Inc()
 		d.logf("depot: bad header from %v: %v", up.RemoteAddr(), err)
 		up.Close()
+		d.finishRejected(nil, peer, OutcomeRejectedProto, start)
 		return
 	}
 	up.SetReadDeadline(time.Time{})
@@ -233,18 +353,24 @@ func (d *Depot) handle(up net.Conn) {
 	if hdr.Final() {
 		// We are the last hop in the route but run as a depot, not a
 		// target: the initiator misrouted.
-		d.rejectedRoute.Add(1)
+		d.rejectedRoute.Inc()
 		d.reject(up, hdr.Session, wire.CodeRejectRoute)
+		d.finishRejected(hdr, peer, OutcomeRejectedRoute, start)
 		return
 	}
 	if hdr.Flags&wire.FlagStaged != 0 {
 		d.handleStaged(up, hdr)
 		return
 	}
-	if d.active.Load() >= int64(d.cfg.MaxSessions) {
-		d.rejectedBusy.Add(1)
+	// Admission reserves the slot atomically (increment, then check) so N
+	// concurrent opens against MaxSessions=k admit exactly k — a plain
+	// load-then-compare could over-admit under load.
+	if d.active.Add(1) > int64(d.cfg.MaxSessions) {
+		d.active.Dec()
+		d.rejectedBusy.Inc()
 		d.logf("depot: session %s rejected: busy", hdr.Session)
 		d.reject(up, hdr.Session, wire.CodeRejectBusy)
+		d.finishRejected(hdr, peer, OutcomeRejectedBusy, start)
 		return
 	}
 
@@ -253,9 +379,11 @@ func (d *Depot) handle(up net.Conn) {
 	down, err := d.cfg.Dial(ctx, "tcp", next)
 	cancel()
 	if err != nil {
-		d.rejectedRoute.Add(1)
+		d.active.Dec()
+		d.rejectedRoute.Inc()
 		d.logf("depot: session %s next hop %s unreachable: %v", hdr.Session, next, err)
 		d.reject(up, hdr.Session, wire.CodeRejectRoute)
+		d.finishRejected(hdr, peer, OutcomeRejectedRoute, start)
 		return
 	}
 
@@ -263,50 +391,88 @@ func (d *Depot) handle(up net.Conn) {
 	hdr.HopIndex++
 	enc, err := hdr.Encode()
 	if err != nil {
-		d.rejectedProto.Add(1)
+		d.active.Dec()
+		d.rejectedProto.Inc()
 		d.reject(up, hdr.Session, wire.CodeRejectProto)
 		down.Close()
+		d.finishRejected(hdr, peer, OutcomeRejectedProto, start)
 		return
 	}
 	if _, err := down.Write(enc); err != nil {
-		d.rejectedRoute.Add(1)
+		d.active.Dec()
+		d.rejectedRoute.Inc()
 		d.reject(up, hdr.Session, wire.CodeRejectRoute)
 		down.Close()
+		d.finishRejected(hdr, peer, OutcomeRejectedRoute, start)
 		return
 	}
 
-	d.accepted.Add(1)
-	d.active.Add(1)
+	d.accepted.Inc()
+	ls := d.sessions.add(SessionInfo{
+		ID:       hdr.Session.String(),
+		Kind:     KindRelay,
+		Peer:     peer,
+		NextHop:  next,
+		Hop:      int(hdr.HopIndex),
+		RouteLen: len(hdr.Route),
+		Started:  start,
+	})
 	d.logf("depot: session %s %v -> %s (hop %d/%d)", hdr.Session, up.RemoteAddr(), next, hdr.HopIndex, len(hdr.Route))
-	start := time.Now()
 
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		n := d.relay(down, up) // forward: payload toward the target
-		d.bytesFwd.Add(uint64(n))
+		d.relay(down, up, &ls.bytesFwd, d.bytesFwd) // forward: payload toward the target
 		halfClose(down)
 	}()
 	go func() {
 		defer wg.Done()
-		n := d.relay(up, down) // backward: accept frame and replies
-		d.bytesBack.Add(uint64(n))
+		d.relay(up, down, &ls.bytesBck, d.bytesBack) // backward: accept frame and replies
 		halfClose(up)
 	}()
 	wg.Wait()
 	up.Close()
 	down.Close()
-	d.active.Add(-1)
-	d.completed.Add(1)
-	d.logf("depot: session %s done in %v", hdr.Session, time.Since(start).Round(time.Millisecond))
+	d.active.Dec()
+	d.completed.Inc()
+	dur := time.Since(start)
+	d.sessionDur.With(OutcomeCompleted).Observe(dur.Seconds())
+	d.sessionBytes.Observe(float64(ls.bytesFwd.Load() + ls.bytesBck.Load()))
+	d.sessions.finish(ls, OutcomeCompleted, dur)
+	d.logf("depot: session %s done in %v", hdr.Session, dur.Round(time.Millisecond))
 }
 
-// relay pumps src into dst through a bounded buffer, returning bytes moved.
-func (d *Depot) relay(dst io.Writer, src io.Reader) int64 {
+// relay pumps src into dst through a bounded buffer, crediting each chunk
+// to the session's live byte counter and the depot total as it moves so
+// /sessions shows in-flight progress, and tracking the buffer high-water
+// mark. Returns bytes moved.
+func (d *Depot) relay(dst io.Writer, src io.Reader, session *atomic.Uint64, total *metrics.Counter) int64 {
 	buf := make([]byte, d.cfg.BufferSize)
-	n, _ := io.CopyBuffer(dst, src, buf)
-	return n
+	var moved int64
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			d.relayHigh.SetMax(int64(n))
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return moved
+			}
+			moved += int64(n)
+			session.Add(uint64(n))
+			total.Add(uint64(n))
+		}
+		if rerr != nil {
+			return moved
+		}
+	}
+}
+
+// remoteAddr names a peer for session records (nil-safe).
+func remoteAddr(c net.Conn) string {
+	if c == nil || c.RemoteAddr() == nil {
+		return ""
+	}
+	return c.RemoteAddr().String()
 }
 
 // halfClose propagates EOF without tearing down the reverse direction.

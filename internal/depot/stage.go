@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"time"
 
 	"lsl/internal/wire"
@@ -32,14 +33,35 @@ const (
 )
 
 // handleStaged runs the custody path for a staged session: read the whole
-// stream, acknowledge, deliver in the background.
+// stream, acknowledge, deliver in the background. The session stays in the
+// live registry until delivery succeeds or is abandoned.
 func (d *Depot) handleStaged(up netConnLike, hdr *wire.OpenHeader) {
 	defer up.Close()
+	start := time.Now()
+	info := SessionInfo{
+		ID:       hdr.Session.String(),
+		Kind:     KindStaged,
+		Peer:     stagedPeer(up),
+		Hop:      int(hdr.HopIndex),
+		RouteLen: len(hdr.Route),
+		Started:  start,
+	}
+	if next, ok := hdr.NextHop(); ok {
+		info.NextHop = next
+	}
+	fail := func(outcome string) {
+		info.Outcome = outcome
+		info.DurationSeconds = time.Since(start).Seconds()
+		d.sessions.record(info)
+		d.sessionDur.With(outcome).Observe(info.DurationSeconds)
+	}
+
 	length := int64(0)
 	if hdr.ContentLen == wire.UnknownLength {
-		d.rejectedProto.Add(1)
+		d.rejectedProto.Inc()
 		d.logf("depot: staged session %s needs a content length", hdr.Session)
-		up.Write((&wire.AcceptFrame{Code: wire.CodeRejectProto, Session: hdr.Session}).Encode())
+		d.writeControl(up, &wire.AcceptFrame{Code: wire.CodeRejectProto, Session: hdr.Session})
+		fail(OutcomeRejectedProto)
 		return
 	}
 	length = int64(hdr.ContentLen)
@@ -48,39 +70,62 @@ func (d *Depot) handleStaged(up netConnLike, hdr *wire.OpenHeader) {
 		total += wire.DigestLen
 	}
 	if total > d.cfg.MaxStageBytes {
-		d.rejectedBusy.Add(1)
+		d.rejectedBusy.Inc()
 		d.logf("depot: staged session %s too large (%d > %d)", hdr.Session, total, d.cfg.MaxStageBytes)
-		up.Write((&wire.AcceptFrame{Code: wire.CodeRejectBusy, Session: hdr.Session}).Encode())
+		d.writeControl(up, &wire.AcceptFrame{Code: wire.CodeRejectBusy, Session: hdr.Session})
+		fail(OutcomeRejectedBusy)
 		return
 	}
 
 	// Custody accept: the depot itself acknowledges the session before the
 	// payload flows (the initiator can then disconnect as soon as its
 	// upload completes).
-	if _, err := up.Write((&wire.AcceptFrame{Code: wire.CodeOK, Session: hdr.Session}).Encode()); err != nil {
+	if !d.writeControl(up, &wire.AcceptFrame{Code: wire.CodeOK, Session: hdr.Session}) {
+		fail(OutcomeStagedUpFailed)
 		return
 	}
 	buf := make([]byte, total)
 	if _, err := io.ReadFull(up, buf); err != nil {
 		d.logf("depot: staged session %s upload failed: %v", hdr.Session, err)
+		fail(OutcomeStagedUpFailed)
 		return
 	}
-	d.staged.Add(1)
+	d.staged.Inc()
 	d.stagedBytes.Add(uint64(total))
 	d.logf("depot: staged session %s in custody (%d bytes), delivering to %v",
 		hdr.Session, total, hdr.RemainingHops()[1:])
 
+	ls := d.sessions.add(info)
+	ls.bytesFwd.Add(uint64(total))
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
 		if err := d.deliverStaged(hdr, buf); err != nil {
-			d.stagedAborted.Add(1)
+			d.stagedAborted.Inc()
+			d.finishStaged(ls, OutcomeStagedAborted, start)
 			d.logf("depot: staged session %s abandoned: %v", hdr.Session, err)
 			return
 		}
-		d.stagedDelivered.Add(1)
+		d.stagedDelivered.Inc()
+		d.finishStaged(ls, OutcomeStagedDeliver, start)
 		d.logf("depot: staged session %s delivered", hdr.Session)
 	}()
+}
+
+// finishStaged retires a staged session's registry entry and observes its
+// end-to-end custody duration.
+func (d *Depot) finishStaged(ls *liveSession, outcome string, start time.Time) {
+	dur := time.Since(start)
+	d.sessions.finish(ls, outcome, dur)
+	d.sessionDur.With(outcome).Observe(dur.Seconds())
+}
+
+// stagedPeer names the uploading peer when the transport exposes one.
+func stagedPeer(c netConnLike) string {
+	if ra, ok := c.(interface{ RemoteAddr() net.Addr }); ok && ra.RemoteAddr() != nil {
+		return ra.RemoteAddr().String()
+	}
+	return ""
 }
 
 // deliverStaged pushes a custody buffer over the remaining route, retrying
@@ -160,6 +205,7 @@ func (d *Depot) attemptDelivery(next string, hdr, payload []byte, id wire.Sessio
 type netConnLike interface {
 	io.ReadWriteCloser
 	SetReadDeadline(time.Time) error
+	SetWriteDeadline(time.Time) error
 	Write(p []byte) (int, error)
 }
 

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Golden test for the exposition format: families sorted by name, label
+// values sorted within a family, histograms cumulative with +Inf, sum,
+// and count lines.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests handled.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("test_active", "Active things.")
+	g.Set(7)
+	v := r.CounterVec("test_rejected_total", "Rejections by reason.", "reason")
+	v.With("busy").Add(3)
+	v.With("proto").Inc()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_active Active things.
+# TYPE test_active gauge
+test_active 7
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 1
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 11.05
+test_latency_seconds_count 4
+# HELP test_rejected_total Rejections by reason.
+# TYPE test_rejected_total counter
+test_rejected_total{reason="busy"} 3
+test_rejected_total{reason="proto"} 1
+# HELP test_requests_total Requests handled.
+# TYPE test_requests_total counter
+test_requests_total 42
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// Observations landing exactly on a bucket boundary belong to that bucket
+// (le is inclusive), and buckets are cumulative.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{1, 1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 3 || bounds[0] != 1 || bounds[1] != 2 || bounds[2] != 4 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// cumulative: le=1 -> 2, le=2 -> 3, le=4 -> 5, +Inf -> 6
+	want := []uint64{2, 3, 5, 6}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cum[%d] = %d, want %d (all: %v)", i, cum[i], w, cum)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 16 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+}
+
+// Bounds passed unsorted must still bucket correctly.
+func TestHistogramSortsBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_h", "h", []float64{10, 1, 5})
+	h.Observe(3)
+	bounds, cum := h.Buckets()
+	if bounds[0] != 1 || bounds[1] != 5 || bounds[2] != 10 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	if cum[0] != 0 || cum[1] != 1 || cum[2] != 1 {
+		t.Fatalf("cum = %v", cum)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Fatalf("value = %d", g.Value())
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatalf("value = %d", g.Value())
+	}
+}
+
+// Concurrent increments across every metric type while a renderer runs;
+// meaningful under -race, and the final counts must be exact.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_c", "c")
+	g := r.Gauge("test_g", "g")
+	v := r.CounterVec("test_v", "v", "k")
+	h := r.HistogramVec("test_hv", "hv", "k", []float64{1, 10})
+
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.SetMax(int64(i))
+				v.With("a").Inc()
+				v.With("b").Inc()
+				h.With("a").Observe(float64(i % 20))
+			}
+		}(w)
+	}
+	// Render concurrently with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if c.Value() != workers*perWorker {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() < workers*perWorker {
+		t.Errorf("gauge = %d", g.Value())
+	}
+	if v.With("a").Value() != workers*perWorker || v.With("b").Value() != workers*perWorker {
+		t.Errorf("vec counts: a=%d b=%d", v.With("a").Value(), v.With("b").Value())
+	}
+	if h.With("a").Count() != workers*perWorker {
+		t.Errorf("hist count = %d", h.With("a").Count())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate name")
+		}
+	}()
+	r.Gauge("dup", "second")
+}

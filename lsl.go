@@ -30,9 +30,11 @@ package lsl
 import (
 	"context"
 	"net"
+	"net/http"
 
 	"lsl/internal/core"
 	"lsl/internal/depot"
+	"lsl/internal/metrics"
 	"lsl/internal/wire"
 )
 
@@ -66,6 +68,18 @@ type DepotConfig = depot.Config
 // DepotStats is a depot counter snapshot.
 type DepotStats = depot.Stats
 
+// DepotSessionInfo describes one live or recently finished depot session
+// (ID, route position, peers, byte counts, outcome).
+type DepotSessionInfo = depot.SessionInfo
+
+// DepotSessions is the full observable session state of a depot: live
+// sessions plus a ring of recently finished ones (see Depot.Sessions).
+type DepotSessions = depot.Snapshot
+
+// MetricsRegistry is the depot's counter/gauge/histogram registry; it
+// renders Prometheus text exposition format (see Depot.Metrics).
+type MetricsRegistry = metrics.Registry
+
 // Re-exported errors.
 var (
 	// ErrRejected reports a depot or target refusing the session.
@@ -88,6 +102,11 @@ func NewListener(ln net.Listener) *Listener { return core.NewListener(ln) }
 
 // NewDepot builds an lsd daemon instance.
 func NewDepot(cfg DepotConfig) *Depot { return depot.New(cfg) }
+
+// DepotAdminHandler serves a depot's admin surface: /metrics (Prometheus
+// text format), /healthz, /sessions (JSON of live + recent sessions),
+// and /debug/pprof.
+func DepotAdminHandler(d *Depot) http.Handler { return depot.AdminHandler(d) }
 
 // NewSessionID draws a fresh random session identifier.
 func NewSessionID() SessionID { return wire.NewSessionID() }
