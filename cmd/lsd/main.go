@@ -9,6 +9,7 @@
 //	lsd -listen :5000 [-buffer 262144] [-max-sessions 256] [-v]
 //	lsd -listen :5000 -stats 10s     # print counters periodically
 //	lsd -listen :5000 -admin :9090   # /metrics /healthz /sessions /debug/pprof
+//	lsd -listen :5000 -drain 10s     # bound shutdown: drain, then cancel
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		admin       = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /sessions, /debug/pprof (empty = disabled)")
 		buffer      = flag.Int("buffer", 256<<10, "per-direction relay buffer in bytes")
 		maxSessions = flag.Int("max-sessions", 256, "concurrent session admission limit")
+		drain       = flag.Duration("drain", 30*time.Second, "shutdown drain: in-flight sessions get this long before being cancelled (<0 = unbounded)")
 		recent      = flag.Int("recent-sessions", 64, "finished sessions kept for /sessions")
 		statsEvery  = flag.Duration("stats", 0, "print counters at this interval (0 = off)")
 		verbose     = flag.Bool("v", false, "log each session")
@@ -41,6 +43,7 @@ func main() {
 	cfg := lsl.DepotConfig{
 		BufferSize:     *buffer,
 		MaxSessions:    *maxSessions,
+		DrainTimeout:   *drain,
 		RecentSessions: *recent,
 	}
 	if *verbose {

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"lsl/internal/wire"
+	"lsl/internal/xfer"
 )
 
 // Errors surfaced by the session layer.
@@ -249,6 +250,11 @@ func (c *Conn) SessionID() wire.SessionID { return c.id }
 // accept (non-zero only for resumed sessions).
 func (c *Conn) Offset() int64 { return c.startOffset }
 
+// Written returns the session's logical stream position: bytes written on
+// this sublink plus, after SendReader on a resumed session, the prefix the
+// target had already confirmed.
+func (c *Conn) Written() int64 { return c.written }
+
 // Write sends payload bytes toward the target.
 func (c *Conn) Write(p []byte) (int, error) {
 	if c.wclosed {
@@ -298,11 +304,16 @@ func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
 // SetDeadline applies to the underlying first sublink.
 func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
 
+// sendBufferSize is the SendReader copy buffer — the same default size
+// class the depot relay uses, so both ends share one buffer pool.
+const sendBufferSize = 256 << 10
+
 // SendReader streams size bytes from r (which must match the session's
 // ContentLength when digesting), honoring a resume offset: it seeks to the
 // target's confirmed offset and, when digesting, re-hashes the skipped
 // prefix so the end-to-end digest still covers the complete stream. It
-// finishes with CloseWrite.
+// finishes with CloseWrite. The copy runs through the pooled data plane
+// (internal/xfer), so repeated sends perform no buffer allocation.
 func (c *Conn) SendReader(r io.ReadSeeker) error {
 	if c.startOffset > 0 {
 		if c.hash != nil {
@@ -312,25 +323,16 @@ func (c *Conn) SendReader(r io.ReadSeeker) error {
 			if _, err := io.CopyN(c.hash, r, c.startOffset); err != nil {
 				return fmt.Errorf("lsl: rehash resumed prefix: %w", err)
 			}
-			c.written = c.startOffset
 		} else if _, err := r.Seek(c.startOffset, io.SeekStart); err != nil {
 			return err
 		}
+		// The skipped prefix counts as written stream position either way,
+		// so Written reports the logical offset, not just this sublink's
+		// bytes.
+		c.written = c.startOffset
 	}
-	buf := make([]byte, 256<<10)
-	for {
-		n, err := r.Read(buf)
-		if n > 0 {
-			if _, werr := c.Write(buf[:n]); werr != nil {
-				return werr
-			}
-		}
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
+	if _, err := xfer.CopyCounted(c, r, xfer.PoolFor(sendBufferSize), xfer.CopyConfig{}); err != nil {
+		return err
 	}
 	return c.CloseWrite()
 }

@@ -437,6 +437,58 @@ func TestResumeAfterInterruption(t *testing.T) {
 	c2.Close()
 }
 
+// SendReader on a resumed session without a digest must skip the
+// confirmed prefix AND count it as written: Written reports the logical
+// stream position, exactly as on the digest path.
+func TestSendReaderResumeAccountingWithoutDigest(t *testing.T) {
+	payload := randBytes(100_000, 7)
+	half := int64(len(payload) / 2)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := make(chan []byte, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		hdr, err := wire.ReadOpenHeader(nc)
+		if err != nil {
+			return
+		}
+		// Claim half the payload already landed in an earlier sublink.
+		nc.Write((&wire.AcceptFrame{Code: wire.CodeOK, Session: hdr.Session, Offset: uint64(half)}).Encode())
+		data, _ := io.ReadAll(nc)
+		got <- data
+	}()
+	c, err := core.Dial(context.Background(), core.Route{Target: ln.Addr().String()},
+		core.WithResume())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Offset() != half {
+		t.Fatalf("offset=%d, want %d", c.Offset(), half)
+	}
+	if err := c.SendReader(bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case data := <-got:
+		if !bytes.Equal(data, payload[half:]) {
+			t.Fatal("resumed suffix mismatch")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+	if c.Written() != int64(len(payload)) {
+		t.Fatalf("Written()=%d, want %d (the confirmed prefix must count)", c.Written(), len(payload))
+	}
+}
+
 func TestConcurrentSessionsThroughOneDepot(t *testing.T) {
 	addr, _ := startTarget(t, func(sc *core.ServerConn) {
 		defer sc.Close()

@@ -1,0 +1,115 @@
+package depot
+
+import (
+	"io"
+	"net"
+	"testing"
+
+	"lsl/internal/wire"
+)
+
+// benchSink accepts raw transport connections, answers each open header
+// with an accept frame, and discards the payload.
+func benchSink(b *testing.B) string {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				hdr, err := wire.ReadOpenHeader(nc)
+				if err != nil {
+					return
+				}
+				nc.Write((&wire.AcceptFrame{Code: wire.CodeOK, Session: hdr.Session}).Encode())
+				io.Copy(io.Discard, nc)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func benchDepot(b *testing.B, cfg Config) (*Depot, string) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := New(cfg)
+	go d.Serve(ln)
+	b.Cleanup(func() { d.Close() })
+	return d, ln.Addr().String()
+}
+
+func benchOpen(b *testing.B, depotAddr, targetAddr string) net.Conn {
+	b.Helper()
+	nc, err := net.Dial("tcp", depotAddr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hdr := &wire.OpenHeader{
+		Session:    wire.NewSessionID(),
+		Route:      []string{depotAddr, targetAddr},
+		ContentLen: wire.UnknownLength,
+	}
+	enc, err := hdr.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := nc.Write(enc); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := wire.ReadAcceptFrame(nc); err != nil {
+		b.Fatal(err)
+	}
+	return nc
+}
+
+// BenchmarkRelayThroughput measures the steady-state relay loop: one
+// long-lived session pumps fixed chunks loopback initiator -> depot ->
+// sink target. Per-op allocations must stay at zero — the relay loop
+// itself may not allocate while bytes move.
+func BenchmarkRelayThroughput(b *testing.B) {
+	targetAddr := benchSink(b)
+	_, depotAddr := benchDepot(b, Config{})
+	nc := benchOpen(b, depotAddr, targetAddr)
+	defer nc.Close()
+	chunk := make([]byte, 64<<10)
+	b.SetBytes(int64(len(chunk)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nc.Write(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// BenchmarkRelaySessionChurn opens and tears down one complete session
+// per op — this is where per-session relay-buffer allocations show up
+// (two fresh BufferSize buffers per session before the pool refactor).
+func BenchmarkRelaySessionChurn(b *testing.B) {
+	targetAddr := benchSink(b)
+	_, depotAddr := benchDepot(b, Config{})
+	chunk := make([]byte, 4<<10)
+	b.SetBytes(int64(len(chunk)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nc := benchOpen(b, depotAddr, targetAddr)
+		if _, err := nc.Write(chunk); err != nil {
+			b.Fatal(err)
+		}
+		nc.Close()
+	}
+	b.StopTimer()
+}

@@ -12,6 +12,16 @@
 // concurrent sessions and rejects the excess with a busy code rather than
 // degrading every flow.
 //
+// Bytes move through the shared data plane in internal/xfer: relay
+// buffers come from a size-classed pool, so the per-session hot path
+// performs no buffer allocation, and every copy is threaded with the
+// session's live byte counters and the depot totals.
+//
+// Lifecycle is context-aware end to end: every session hangs off a
+// depot-root context, and Close drains in-flight sessions for a bounded
+// time (Config.DrainTimeout) before cancelling the remainder, which are
+// recorded with the distinct "canceled" outcome.
+//
 // A depot is observable: every instance carries a metrics registry
 // (Prometheus text format via Metrics), a live-session registry with a
 // ring of recently finished sessions (Sessions), and an HTTP admin
@@ -30,12 +40,14 @@ import (
 	"lsl/internal/core"
 	"lsl/internal/metrics"
 	"lsl/internal/wire"
+	"lsl/internal/xfer"
 )
 
 // Config tunes a depot.
 type Config struct {
 	// BufferSize is the per-direction relay buffer (default 256 KiB) — the
-	// paper's "small, short-lived" intermediate allocation.
+	// paper's "small, short-lived" intermediate allocation, now borrowed
+	// from a size-classed pool instead of allocated per session.
 	BufferSize int
 	// MaxSessions caps concurrent sessions (0 = 256).
 	MaxSessions int
@@ -47,6 +59,11 @@ type Config struct {
 	// and reject frames) so a stalled peer cannot pin a handler goroutine
 	// (default 5s).
 	WriteTimeout time.Duration
+	// DrainTimeout bounds Close: in-flight sessions get this long to
+	// finish on their own before the depot cancels them (outcome
+	// "canceled"). Zero means DefaultDrainTimeout; negative drains
+	// without a bound.
+	DrainTimeout time.Duration
 	// RecentSessions sizes the finished-session ring kept for /sessions
 	// (default 64).
 	RecentSessions int
@@ -63,6 +80,10 @@ type Config struct {
 	StageDeadline time.Duration
 }
 
+// DefaultDrainTimeout is how long Close waits for in-flight sessions
+// before cancelling them when Config.DrainTimeout is zero.
+const DefaultDrainTimeout = 30 * time.Second
+
 func (c Config) withDefaults() Config {
 	if c.BufferSize == 0 {
 		c.BufferSize = 256 << 10
@@ -78,6 +99,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 5 * time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = DefaultDrainTimeout
 	}
 	if c.RecentSessions == 0 {
 		c.RecentSessions = DefaultRecentSessions
@@ -105,6 +129,9 @@ type Stats struct {
 	RejectedRoute uint64
 	RejectedProto uint64
 	Completed     uint64
+	// Canceled counts sessions (relay and staged) cut short by shutdown
+	// after the drain timeout.
+	Canceled      uint64
 	BytesForward  uint64
 	BytesBackward uint64
 	Active        int64
@@ -129,7 +156,13 @@ var (
 
 // Depot is a running daemon instance.
 type Depot struct {
-	cfg Config
+	cfg  Config
+	bufs *xfer.Pool
+
+	// root is the lifecycle context every session hangs off; cancel fires
+	// when Close gives up draining.
+	root   context.Context
+	cancel context.CancelFunc
 
 	reg      *metrics.Registry
 	sessions *sessionRegistry
@@ -139,6 +172,7 @@ type Depot struct {
 	rejectedRoute *metrics.Counter
 	rejectedProto *metrics.Counter
 	completed     *metrics.Counter
+	canceled      *metrics.Counter
 	bytesFwd      *metrics.Counter
 	bytesBack     *metrics.Counter
 	ctrlWriteFail *metrics.Counter
@@ -162,8 +196,12 @@ type Depot struct {
 func New(cfg Config) *Depot {
 	cfg = cfg.withDefaults()
 	reg := metrics.NewRegistry()
+	root, cancel := context.WithCancel(context.Background())
 	d := &Depot{
 		cfg:      cfg,
+		bufs:     xfer.PoolFor(cfg.BufferSize),
+		root:     root,
+		cancel:   cancel,
 		reg:      reg,
 		sessions: newSessionRegistry(cfg.RecentSessions),
 	}
@@ -176,6 +214,8 @@ func New(cfg Config) *Depot {
 	d.rejectedProto = rejected.With("proto")
 	d.completed = reg.Counter("lsd_sessions_completed_total",
 		"Relay sessions fully drained in both directions.")
+	d.canceled = reg.Counter("lsd_sessions_canceled_total",
+		"Sessions cancelled by shutdown after the drain timeout.")
 	bytes := reg.CounterVec("lsd_relay_bytes_total",
 		"Bytes relayed, by direction (forward is toward the target).", "direction")
 	d.bytesFwd = bytes.With("forward")
@@ -209,6 +249,7 @@ func (d *Depot) Stats() Stats {
 		RejectedRoute:        d.rejectedRoute.Value(),
 		RejectedProto:        d.rejectedProto.Value(),
 		Completed:            d.completed.Value(),
+		Canceled:             d.canceled.Value(),
 		BytesForward:         d.bytesFwd.Value(),
 		BytesBackward:        d.bytesBack.Value(),
 		Active:               d.active.Value(),
@@ -244,7 +285,8 @@ func (d *Depot) ListenAndServe(addr string) error {
 }
 
 // Serve runs the accept loop on ln until Close (or a permanent accept
-// error). Each session runs on its own goroutine pair.
+// error). Each session runs on its own goroutine under the depot-root
+// context.
 func (d *Depot) Serve(ln net.Listener) error {
 	d.mu.Lock()
 	if d.closed {
@@ -268,7 +310,7 @@ func (d *Depot) Serve(ln net.Listener) error {
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
-			d.handle(nc)
+			d.handle(d.root, nc)
 		}()
 	}
 }
@@ -283,9 +325,19 @@ func (d *Depot) Addr() net.Addr {
 	return d.ln.Addr()
 }
 
-// Close stops the accept loop and waits for in-flight sessions to finish.
+// Close stops the accept loop, gives in-flight sessions (relays
+// mid-stream and staged deliveries mid-retry) the drain timeout to finish
+// on their own, then cancels the remainder via the root context and waits
+// for them to unwind. Cancelled sessions are recorded with the "canceled"
+// outcome, so Close returns within roughly the drain timeout plus one
+// teardown round-trip. A second Close is a no-op.
 func (d *Depot) Close() error {
 	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		d.wg.Wait()
+		return nil
+	}
 	d.closed = true
 	ln := d.ln
 	d.mu.Unlock()
@@ -293,7 +345,23 @@ func (d *Depot) Close() error {
 	if ln != nil {
 		err = ln.Close()
 	}
-	d.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	if d.cfg.DrainTimeout > 0 {
+		timer := time.NewTimer(d.cfg.DrainTimeout)
+		select {
+		case <-done:
+			timer.Stop()
+		case <-timer.C:
+			d.logf("depot: drain timeout %v expired, cancelling in-flight sessions", d.cfg.DrainTimeout)
+			d.cancel()
+		}
+	}
+	<-done
+	d.cancel() // release the root context even on a clean drain
 	return err
 }
 
@@ -310,161 +378,248 @@ func (d *Depot) writeControl(c netConnLike, f *wire.AcceptFrame) bool {
 	return err == nil
 }
 
-func (d *Depot) reject(nc net.Conn, id wire.SessionID, code uint8) {
+// reject writes a reject frame under the control write deadline and
+// closes the transport.
+func (d *Depot) reject(nc netConnLike, id wire.SessionID, code uint8) {
 	d.writeControl(nc, &wire.AcceptFrame{Code: code, Session: id})
 	nc.Close()
 }
 
-// finishRejected records a session that never went live: ring entry plus
-// the per-outcome duration histogram.
-func (d *Depot) finishRejected(hdr *wire.OpenHeader, peer, outcome string, start time.Time) {
-	dur := time.Since(start)
-	info := SessionInfo{
-		Kind:            KindRelay,
-		Peer:            peer,
-		Started:         start,
-		Outcome:         outcome,
-		DurationSeconds: dur.Seconds(),
-	}
-	if hdr != nil {
-		info.ID = hdr.Session.String()
-		info.Hop = int(hdr.HopIndex)
-		info.RouteLen = len(hdr.Route)
-	}
-	d.sessions.record(info)
-	d.sessionDur.With(outcome).Observe(dur.Seconds())
+// sessionState names a relay session's position in its lifecycle. The
+// transitions are linear — handshaking → dialing → relaying → done —
+// with every failure jumping straight to done through session.finish.
+type sessionState uint8
+
+const (
+	stateHandshaking sessionState = iota
+	stateDialing
+	stateRelaying
+	stateDone
+)
+
+// session is one relay session moving through the depot's state machine.
+// It owns both transports and funnels every exit — rejection, completion,
+// cancellation — through the single finish path, so the admission slot,
+// the ring entry, and the per-outcome histograms can never diverge.
+type session struct {
+	d     *Depot
+	up    net.Conn
+	down  net.Conn
+	hdr   *wire.OpenHeader
+	peer  string
+	start time.Time
+	state sessionState
+
+	admitted bool
+	ls       *liveSession
+	canceled atomic.Bool
 }
 
-// handle runs one session: header, admission, next-hop dial, relay.
-func (d *Depot) handle(up net.Conn) {
-	start := time.Now()
-	peer := remoteAddr(up)
-	up.SetReadDeadline(time.Now().Add(d.cfg.HandshakeTimeout))
-	hdr, err := wire.ReadOpenHeader(up)
-	if err != nil {
-		d.rejectedProto.Inc()
-		d.logf("depot: bad header from %v: %v", up.RemoteAddr(), err)
-		up.Close()
-		d.finishRejected(nil, peer, OutcomeRejectedProto, start)
+// handle runs one inbound transport connection as a session.
+func (d *Depot) handle(ctx context.Context, up net.Conn) {
+	s := &session{d: d, up: up, peer: remoteAddr(up), start: time.Now(), state: stateHandshaking}
+	s.run(ctx)
+}
+
+func (s *session) run(ctx context.Context) {
+	d := s.d
+	if !s.handshake() {
 		return
 	}
-	up.SetReadDeadline(time.Time{})
+	if s.hdr.Flags&wire.FlagStaged != 0 {
+		d.handleStaged(ctx, s.up, s.hdr)
+		return
+	}
+	if !s.admit() || !s.dial(ctx) {
+		return
+	}
+	s.relay(ctx)
+}
 
+// handshake reads and validates the open header.
+func (s *session) handshake() bool {
+	d := s.d
+	s.up.SetReadDeadline(time.Now().Add(d.cfg.HandshakeTimeout))
+	hdr, err := wire.ReadOpenHeader(s.up)
+	if err != nil {
+		d.logf("depot: bad header from %v: %v", s.up.RemoteAddr(), err)
+		s.fail(d.rejectedProto, OutcomeRejectedProto, 0)
+		return false
+	}
+	s.up.SetReadDeadline(time.Time{})
+	s.hdr = hdr
 	if hdr.Final() {
 		// We are the last hop in the route but run as a depot, not a
 		// target: the initiator misrouted.
-		d.rejectedRoute.Inc()
-		d.reject(up, hdr.Session, wire.CodeRejectRoute)
-		d.finishRejected(hdr, peer, OutcomeRejectedRoute, start)
-		return
+		s.fail(d.rejectedRoute, OutcomeRejectedRoute, wire.CodeRejectRoute)
+		return false
 	}
-	if hdr.Flags&wire.FlagStaged != 0 {
-		d.handleStaged(up, hdr)
-		return
-	}
-	// Admission reserves the slot atomically (increment, then check) so N
-	// concurrent opens against MaxSessions=k admit exactly k — a plain
-	// load-then-compare could over-admit under load.
+	return true
+}
+
+// admit reserves the admission slot atomically (increment, then check) so
+// N concurrent opens against MaxSessions=k admit exactly k — a plain
+// load-then-compare could over-admit under load.
+func (s *session) admit() bool {
+	d := s.d
 	if d.active.Add(1) > int64(d.cfg.MaxSessions) {
 		d.active.Dec()
-		d.rejectedBusy.Inc()
-		d.logf("depot: session %s rejected: busy", hdr.Session)
-		d.reject(up, hdr.Session, wire.CodeRejectBusy)
-		d.finishRejected(hdr, peer, OutcomeRejectedBusy, start)
-		return
+		d.logf("depot: session %s rejected: busy", s.hdr.Session)
+		s.fail(d.rejectedBusy, OutcomeRejectedBusy, wire.CodeRejectBusy)
+		return false
 	}
+	s.admitted = true
+	return true
+}
 
-	next, _ := hdr.NextHop()
-	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.DialTimeout)
-	down, err := d.cfg.Dial(ctx, "tcp", next)
+// dial connects the next hop and forwards the header with the hop index
+// advanced; on success the session goes live in the registry.
+func (s *session) dial(ctx context.Context) bool {
+	d := s.d
+	s.state = stateDialing
+	next, _ := s.hdr.NextHop()
+	dctx, cancel := context.WithTimeout(ctx, d.cfg.DialTimeout)
+	down, err := d.cfg.Dial(dctx, "tcp", next)
 	cancel()
 	if err != nil {
-		d.active.Dec()
-		d.rejectedRoute.Inc()
-		d.logf("depot: session %s next hop %s unreachable: %v", hdr.Session, next, err)
-		d.reject(up, hdr.Session, wire.CodeRejectRoute)
-		d.finishRejected(hdr, peer, OutcomeRejectedRoute, start)
-		return
+		d.logf("depot: session %s next hop %s unreachable: %v", s.hdr.Session, next, err)
+		s.fail(d.rejectedRoute, OutcomeRejectedRoute, wire.CodeRejectRoute)
+		return false
 	}
-
-	// Forward the header with the hop index advanced.
-	hdr.HopIndex++
-	enc, err := hdr.Encode()
+	s.down = down
+	s.hdr.HopIndex++
+	enc, err := s.hdr.Encode()
 	if err != nil {
-		d.active.Dec()
-		d.rejectedProto.Inc()
-		d.reject(up, hdr.Session, wire.CodeRejectProto)
-		down.Close()
-		d.finishRejected(hdr, peer, OutcomeRejectedProto, start)
-		return
+		s.fail(d.rejectedProto, OutcomeRejectedProto, wire.CodeRejectProto)
+		return false
 	}
 	if _, err := down.Write(enc); err != nil {
-		d.active.Dec()
-		d.rejectedRoute.Inc()
-		d.reject(up, hdr.Session, wire.CodeRejectRoute)
-		down.Close()
-		d.finishRejected(hdr, peer, OutcomeRejectedRoute, start)
-		return
+		s.fail(d.rejectedRoute, OutcomeRejectedRoute, wire.CodeRejectRoute)
+		return false
 	}
-
 	d.accepted.Inc()
-	ls := d.sessions.add(SessionInfo{
-		ID:       hdr.Session.String(),
+	s.ls = d.sessions.add(SessionInfo{
+		ID:       s.hdr.Session.String(),
 		Kind:     KindRelay,
-		Peer:     peer,
+		Peer:     s.peer,
 		NextHop:  next,
-		Hop:      int(hdr.HopIndex),
-		RouteLen: len(hdr.Route),
-		Started:  start,
+		Hop:      int(s.hdr.HopIndex),
+		RouteLen: len(s.hdr.Route),
+		Started:  s.start,
 	})
-	d.logf("depot: session %s %v -> %s (hop %d/%d)", hdr.Session, up.RemoteAddr(), next, hdr.HopIndex, len(hdr.Route))
+	d.logf("depot: session %s %v -> %s (hop %d/%d)", s.hdr.Session, s.up.RemoteAddr(), next, s.hdr.HopIndex, len(s.hdr.Route))
+	return true
+}
 
+// relay pumps both directions through the pooled data plane until both
+// sides drain or the root context cancels the session. A watchdog closes
+// the transports on cancellation so pumps blocked in Read unwind.
+func (s *session) relay(ctx context.Context) {
+	d := s.d
+	s.state = stateRelaying
+	unwatch := s.watchCancel(ctx)
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		d.relay(down, up, &ls.bytesFwd, d.bytesFwd) // forward: payload toward the target
-		halfClose(down)
+		s.pump(ctx, s.down, s.up, &s.ls.bytesFwd, d.bytesFwd) // forward: payload toward the target
+		halfClose(s.down)
 	}()
 	go func() {
 		defer wg.Done()
-		d.relay(up, down, &ls.bytesBck, d.bytesBack) // backward: accept frame and replies
-		halfClose(up)
+		s.pump(ctx, s.up, s.down, &s.ls.bytesBck, d.bytesBack) // backward: accept frame and replies
+		halfClose(s.up)
 	}()
 	wg.Wait()
-	up.Close()
-	down.Close()
-	d.active.Dec()
+	unwatch()
+	if s.canceled.Load() {
+		d.canceled.Inc()
+		s.finish(OutcomeCanceled, 0)
+		d.logf("depot: session %s canceled by shutdown", s.hdr.Session)
+		return
+	}
 	d.completed.Inc()
-	dur := time.Since(start)
-	d.sessionDur.With(OutcomeCompleted).Observe(dur.Seconds())
-	d.sessionBytes.Observe(float64(ls.bytesFwd.Load() + ls.bytesBck.Load()))
-	d.sessions.finish(ls, OutcomeCompleted, dur)
-	d.logf("depot: session %s done in %v", hdr.Session, dur.Round(time.Millisecond))
+	s.finish(OutcomeCompleted, 0)
+	d.logf("depot: session %s done in %v", s.hdr.Session, time.Since(s.start).Round(time.Millisecond))
 }
 
-// relay pumps src into dst through a bounded buffer, crediting each chunk
-// to the session's live byte counter and the depot total as it moves so
+// watchCancel tears both transports down when ctx fires so blocked reads
+// and writes unwind promptly; the returned stop function ends the watch.
+func (s *session) watchCancel(ctx context.Context) func() {
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.canceled.Store(true)
+			s.up.Close()
+			s.down.Close()
+		case <-stop:
+		}
+	}()
+	return func() { close(stop) }
+}
+
+// pump moves one direction through the shared data plane, crediting the
+// session's live byte counter and the depot total as chunks land so
 // /sessions shows in-flight progress, and tracking the buffer high-water
-// mark. Returns bytes moved.
-func (d *Depot) relay(dst io.Writer, src io.Reader, session *atomic.Uint64, total *metrics.Counter) int64 {
-	buf := make([]byte, d.cfg.BufferSize)
-	var moved int64
-	for {
-		n, rerr := src.Read(buf)
-		if n > 0 {
-			d.relayHigh.SetMax(int64(n))
-			if _, werr := dst.Write(buf[:n]); werr != nil {
-				return moved
-			}
-			moved += int64(n)
-			session.Add(uint64(n))
-			total.Add(uint64(n))
-		}
-		if rerr != nil {
-			return moved
-		}
+// mark.
+func (s *session) pump(ctx context.Context, dst io.Writer, src io.Reader, live *atomic.Uint64, total *metrics.Counter) int64 {
+	n, _ := xfer.CopyCounted(dst, src, s.d.bufs, xfer.CopyConfig{
+		Counters:  []xfer.Adder{xfer.AtomicAdder{U: live}, total},
+		HighWater: s.d.relayHigh,
+		Ctx:       ctx,
+	})
+	return n
+}
+
+// fail bumps the rejection counter, emits the reject frame (code 0 means
+// none — the peer never completed a handshake), and retires the session.
+func (s *session) fail(counter *metrics.Counter, outcome string, code uint8) {
+	counter.Inc()
+	s.finish(outcome, code)
+}
+
+// finish is the single exit path for every session state: it releases the
+// admission slot, writes the reject frame when asked, closes both
+// transports, and records the ring entry plus the per-outcome duration
+// histogram (and the session-bytes histogram once the session went live).
+func (s *session) finish(outcome string, code uint8) {
+	if s.state == stateDone {
+		return
 	}
+	s.state = stateDone
+	d := s.d
+	if code != 0 {
+		d.reject(s.up, s.hdr.Session, code)
+	}
+	s.up.Close()
+	if s.down != nil {
+		s.down.Close()
+	}
+	if s.admitted {
+		d.active.Dec()
+		s.admitted = false
+	}
+	dur := time.Since(s.start)
+	if s.ls != nil {
+		d.sessionBytes.Observe(float64(s.ls.bytesFwd.Load() + s.ls.bytesBck.Load()))
+		d.sessions.finish(s.ls, outcome, dur)
+	} else {
+		info := SessionInfo{
+			Kind:            KindRelay,
+			Peer:            s.peer,
+			Started:         s.start,
+			Outcome:         outcome,
+			DurationSeconds: dur.Seconds(),
+		}
+		if s.hdr != nil {
+			info.ID = s.hdr.Session.String()
+			info.Hop = int(s.hdr.HopIndex)
+			info.RouteLen = len(s.hdr.Route)
+		}
+		d.sessions.record(info)
+	}
+	d.sessionDur.With(outcome).Observe(dur.Seconds())
 }
 
 // remoteAddr names a peer for session records (nil-safe).

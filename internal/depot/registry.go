@@ -11,6 +11,7 @@ import (
 // label on the per-outcome duration histogram.
 const (
 	OutcomeCompleted      = "completed"
+	OutcomeCanceled       = "canceled"
 	OutcomeRejectedBusy   = "rejected-busy"
 	OutcomeRejectedRoute  = "rejected-route"
 	OutcomeRejectedProto  = "rejected-proto"

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lsl/internal/wire"
+	"lsl/internal/xfer"
 )
 
 // Staged (asynchronous) sessions: the paper's §III observes that "the
@@ -21,6 +22,10 @@ import (
 // while the downstream is unreachable. The end-to-end MD5 trailer is
 // stored and forwarded verbatim, so integrity verification still happens
 // at the ultimate receiver.
+//
+// The whole custody path hangs off the depot-root context: retry backoff
+// selects on ctx.Done instead of sleeping, so Close's drain-then-cancel
+// sequence bounds how long a mid-retry delivery can pin shutdown.
 
 // stage-related configuration (part of Config).
 const (
@@ -34,8 +39,9 @@ const (
 
 // handleStaged runs the custody path for a staged session: read the whole
 // stream, acknowledge, deliver in the background. The session stays in the
-// live registry until delivery succeeds or is abandoned.
-func (d *Depot) handleStaged(up netConnLike, hdr *wire.OpenHeader) {
+// live registry until delivery succeeds, is abandoned, or is cancelled by
+// shutdown.
+func (d *Depot) handleStaged(ctx context.Context, up netConnLike, hdr *wire.OpenHeader) {
 	defer up.Close()
 	start := time.Now()
 	info := SessionInfo{
@@ -84,8 +90,19 @@ func (d *Depot) handleStaged(up netConnLike, hdr *wire.OpenHeader) {
 		fail(OutcomeStagedUpFailed)
 		return
 	}
+	// The custody buffer outlives this handler (it rides the delivery
+	// goroutine), so it cannot come from the relay pool.
 	buf := make([]byte, total)
-	if _, err := io.ReadFull(up, buf); err != nil {
+	unwatch := closeOnDone(ctx, up)
+	_, err := io.ReadFull(up, buf)
+	unwatch()
+	if err != nil {
+		if ctx.Err() != nil {
+			d.canceled.Inc()
+			d.logf("depot: staged session %s upload canceled by shutdown", hdr.Session)
+			fail(OutcomeCanceled)
+			return
+		}
 		d.logf("depot: staged session %s upload failed: %v", hdr.Session, err)
 		fail(OutcomeStagedUpFailed)
 		return
@@ -100,7 +117,13 @@ func (d *Depot) handleStaged(up netConnLike, hdr *wire.OpenHeader) {
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
-		if err := d.deliverStaged(hdr, buf); err != nil {
+		if err := d.deliverStaged(ctx, hdr, buf); err != nil {
+			if ctx.Err() != nil {
+				d.canceled.Inc()
+				d.finishStaged(ls, OutcomeCanceled, start)
+				d.logf("depot: staged session %s canceled by shutdown: %v", hdr.Session, err)
+				return
+			}
 			d.stagedAborted.Inc()
 			d.finishStaged(ls, OutcomeStagedAborted, start)
 			d.logf("depot: staged session %s abandoned: %v", hdr.Session, err)
@@ -129,8 +152,8 @@ func stagedPeer(c netConnLike) string {
 }
 
 // deliverStaged pushes a custody buffer over the remaining route, retrying
-// with linear backoff until the deadline.
-func (d *Depot) deliverStaged(hdr *wire.OpenHeader, payload []byte) error {
+// with linear backoff until the stage deadline or cancellation.
+func (d *Depot) deliverStaged(ctx context.Context, hdr *wire.OpenHeader, payload []byte) error {
 	next, ok := hdr.NextHop()
 	if !ok {
 		return fmt.Errorf("staged session terminates at a depot")
@@ -146,29 +169,37 @@ func (d *Depot) deliverStaged(hdr *wire.OpenHeader, payload []byte) error {
 	attempt := 0
 	for {
 		attempt++
-		err := d.attemptDelivery(next, enc, payload, fwd.Session)
+		err := d.attemptDelivery(ctx, next, enc, payload, fwd.Session)
 		if err == nil {
 			return nil
 		}
-		if d.isClosed() {
+		if ctx.Err() != nil {
 			return fmt.Errorf("depot shutting down: %w", err)
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("gave up after %d attempts: %w", attempt, err)
 		}
 		d.logf("depot: staged session %s delivery attempt %d failed: %v", fwd.Session, attempt, err)
-		time.Sleep(d.cfg.StageRetryInterval)
+		// Backoff that shutdown can interrupt — never an uninterruptible
+		// sleep on the drain path.
+		select {
+		case <-time.After(d.cfg.StageRetryInterval):
+		case <-ctx.Done():
+			return fmt.Errorf("depot shutting down: %w", ctx.Err())
+		}
 	}
 }
 
-func (d *Depot) attemptDelivery(next string, hdr, payload []byte, id wire.SessionID) error {
-	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.DialTimeout)
-	down, err := d.cfg.Dial(ctx, "tcp", next)
+func (d *Depot) attemptDelivery(ctx context.Context, next string, hdr, payload []byte, id wire.SessionID) error {
+	dctx, cancel := context.WithTimeout(ctx, d.cfg.DialTimeout)
+	down, err := d.cfg.Dial(dctx, "tcp", next)
 	cancel()
 	if err != nil {
 		return err
 	}
 	defer down.Close()
+	unwatch := closeOnDone(ctx, down)
+	defer unwatch()
 	if _, err := down.Write(hdr); err != nil {
 		return err
 	}
@@ -189,15 +220,33 @@ func (d *Depot) attemptDelivery(next string, hdr, payload []byte, id wire.Sessio
 	if acc.Offset > 0 && acc.Offset < uint64(len(payload)) {
 		start = int64(acc.Offset) // resumed delivery
 	}
-	if _, err := io.Copy(down, bytes.NewReader(payload[start:])); err != nil {
+	if _, err := xfer.CopyCounted(down, bytes.NewReader(payload[start:]), d.bufs, xfer.CopyConfig{Ctx: ctx}); err != nil {
 		return err
 	}
 	halfClose(down)
 	// Wait for the receiver to finish (EOF on the backward channel) so a
-	// mid-delivery crash is retried rather than silently dropped.
+	// mid-delivery crash is retried rather than silently dropped. The
+	// drain error matters: a receiver dying here means the delivery is NOT
+	// confirmed and must be retried, not counted as delivered.
 	down.SetReadDeadline(time.Now().Add(d.cfg.HandshakeTimeout))
-	io.Copy(io.Discard, down)
+	if _, err := io.Copy(io.Discard, down); err != nil {
+		return fmt.Errorf("confirm drain: %w", err)
+	}
 	return nil
+}
+
+// closeOnDone closes c when ctx fires so a blocked read unwinds; the
+// returned stop function ends the watch.
+func closeOnDone(ctx context.Context, c io.Closer) func() {
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.Close()
+		case <-stop:
+		}
+	}()
+	return func() { close(stop) }
 }
 
 // netConnLike is the subset of net.Conn the staged path needs (eases
@@ -207,10 +256,4 @@ type netConnLike interface {
 	SetReadDeadline(time.Time) error
 	SetWriteDeadline(time.Time) error
 	Write(p []byte) (int, error)
-}
-
-func (d *Depot) isClosed() bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.closed
 }

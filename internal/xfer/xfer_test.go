@@ -1,0 +1,158 @@
+package xfer
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolSizeClass(t *testing.T) {
+	p := NewPool(1024)
+	b := p.Get()
+	if len(*b) != 1024 {
+		t.Fatalf("len=%d", len(*b))
+	}
+	p.Put(b)
+	// Wrong-size buffers must not poison the pool.
+	bad := make([]byte, 10)
+	p.Put(&bad)
+	again := p.Get()
+	if len(*again) != 1024 {
+		t.Fatalf("pool poisoned: len=%d", len(*again))
+	}
+	if NewPool(0).Size() != 256<<10 {
+		t.Fatal("zero size did not default")
+	}
+}
+
+func TestPoolForSharesByClass(t *testing.T) {
+	if PoolFor(2048) != PoolFor(2048) {
+		t.Fatal("same size class returned distinct pools")
+	}
+	if PoolFor(2048) == PoolFor(4096) {
+		t.Fatal("distinct size classes share a pool")
+	}
+	if PoolFor(0) != PoolFor(256<<10) {
+		t.Fatal("zero size did not alias the default class")
+	}
+}
+
+func TestCopyCountedCounts(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 10000)
+	var dst bytes.Buffer
+	var live atomic.Uint64
+	var total counter
+	var high maxGauge
+	var progress int
+	n, err := CopyCounted(&dst, bytes.NewReader(payload), NewPool(512), CopyConfig{
+		Counters:  []Adder{AtomicAdder{U: &live}, &total},
+		HighWater: &high,
+		Progress:  func(n int) { progress += n },
+	})
+	if err != nil || n != int64(len(payload)) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(dst.Bytes(), payload) {
+		t.Fatal("payload corrupted")
+	}
+	if live.Load() != uint64(len(payload)) || total.v != uint64(len(payload)) || progress != len(payload) {
+		t.Fatalf("counters: live=%d total=%d progress=%d", live.Load(), total.v, progress)
+	}
+	if high.v != 512 {
+		t.Fatalf("high water %d, want full buffer fills of 512", high.v)
+	}
+}
+
+func TestCopyCountedReadError(t *testing.T) {
+	boom := errors.New("boom")
+	src := io.MultiReader(strings.NewReader("abcd"), errReader{boom})
+	var dst bytes.Buffer
+	n, err := CopyCounted(&dst, src, NewPool(2), CopyConfig{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+	if n != 4 {
+		t.Fatalf("n=%d", n)
+	}
+}
+
+func TestCopyCountedWriteError(t *testing.T) {
+	boom := errors.New("full")
+	var total counter
+	n, err := CopyCounted(failWriter{2, boom}, strings.NewReader("abcdef"), NewPool(4), CopyConfig{
+		Counters: []Adder{&total},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+	// Only the bytes actually written downstream are credited.
+	if n != 2 || total.v != 2 {
+		t.Fatalf("n=%d total=%d", n, total.v)
+	}
+}
+
+func TestCopyCountedShortWrite(t *testing.T) {
+	_, err := CopyCounted(failWriter{1, nil}, strings.NewReader("abcd"), NewPool(4), CopyConfig{})
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestCopyCountedCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var dst bytes.Buffer
+	n, err := CopyCounted(&dst, strings.NewReader("abcd"), NewPool(4), CopyConfig{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func BenchmarkCopyCounted(b *testing.B) {
+	payload := bytes.Repeat([]byte("y"), 1<<20)
+	pool := PoolFor(256 << 10)
+	var live atomic.Uint64
+	cfg := CopyConfig{Counters: []Adder{AtomicAdder{U: &live}}}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CopyCounted(io.Discard, bytes.NewReader(payload), pool, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type counter struct{ v uint64 }
+
+func (c *counter) Add(n uint64) { c.v += n }
+
+type maxGauge struct{ v int64 }
+
+func (g *maxGauge) SetMax(v int64) {
+	if v > g.v {
+		g.v = v
+	}
+}
+
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }
+
+// failWriter accepts n bytes of the first chunk, then fails with err
+// (nil err models a silent short write).
+type failWriter struct {
+	n   int
+	err error
+}
+
+func (w failWriter) Write(p []byte) (int, error) {
+	if len(p) <= w.n {
+		return len(p), nil
+	}
+	return w.n, w.err
+}

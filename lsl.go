@@ -80,6 +80,21 @@ type DepotSessions = depot.Snapshot
 // renders Prometheus text exposition format (see Depot.Metrics).
 type MetricsRegistry = metrics.Registry
 
+// Depot session outcome labels, as recorded in the recent-session ring
+// (Depot.Sessions) and on the per-outcome metrics. "canceled" marks
+// sessions cut short when Close's drain timeout (DepotConfig.DrainTimeout)
+// expired before they finished.
+const (
+	DepotOutcomeCompleted      = depot.OutcomeCompleted
+	DepotOutcomeCanceled       = depot.OutcomeCanceled
+	DepotOutcomeRejectedBusy   = depot.OutcomeRejectedBusy
+	DepotOutcomeRejectedRoute  = depot.OutcomeRejectedRoute
+	DepotOutcomeRejectedProto  = depot.OutcomeRejectedProto
+	DepotOutcomeStagedDeliver  = depot.OutcomeStagedDeliver
+	DepotOutcomeStagedAborted  = depot.OutcomeStagedAborted
+	DepotOutcomeStagedUpFailed = depot.OutcomeStagedUpFailed
+)
+
 // Re-exported errors.
 var (
 	// ErrRejected reports a depot or target refusing the session.
@@ -100,7 +115,10 @@ func Listen(addr string) (*Listener, error) { return core.Listen(addr) }
 // NewListener wraps an existing net.Listener as a session target.
 func NewListener(ln net.Listener) *Listener { return core.NewListener(ln) }
 
-// NewDepot builds an lsd daemon instance.
+// NewDepot builds an lsd daemon instance. Its Close drains in-flight
+// sessions for DepotConfig.DrainTimeout and then cancels the remainder,
+// so shutdown is bounded even with relays mid-stream and staged
+// deliveries mid-retry.
 func NewDepot(cfg DepotConfig) *Depot { return depot.New(cfg) }
 
 // DepotAdminHandler serves a depot's admin surface: /metrics (Prometheus
