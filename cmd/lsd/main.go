@@ -35,16 +35,22 @@ func main() {
 		drain       = flag.Duration("drain", 30*time.Second, "shutdown drain: in-flight sessions get this long before being cancelled (<0 = unbounded)")
 		recent      = flag.Int("recent-sessions", 64, "finished sessions kept for /sessions")
 		statsEvery  = flag.Duration("stats", 0, "print counters at this interval (0 = off)")
+		dialTO      = flag.Duration("dial-timeout", 0, "next-hop connection establishment timeout (0 = default 10s)")
+		stageRetry  = flag.Duration("stage-retry", 0, "staged redelivery backoff base (0 = default 2s)")
+		stageRetMax = flag.Duration("stage-retry-max", 0, "staged redelivery backoff cap (0 = default 30s)")
 		verbose     = flag.Bool("v", false, "log each session")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "lsd ", log.LstdFlags)
 	cfg := lsl.DepotConfig{
-		BufferSize:     *buffer,
-		MaxSessions:    *maxSessions,
-		DrainTimeout:   *drain,
-		RecentSessions: *recent,
+		BufferSize:         *buffer,
+		MaxSessions:        *maxSessions,
+		DrainTimeout:       *drain,
+		RecentSessions:     *recent,
+		DialTimeout:        *dialTO,
+		StageRetryInterval: *stageRetry,
+		StageRetryMax:      *stageRetMax,
 	}
 	if *verbose {
 		cfg.Logf = logger.Printf
@@ -64,9 +70,9 @@ func main() {
 					return
 				case <-ticker.C:
 					s := d.Stats()
-					logger.Printf("sessions: active=%d accepted=%d completed=%d rejected(busy=%d route=%d proto=%d) bytes(fwd=%d back=%d) maxbuf=%d",
+					logger.Printf("sessions: active=%d accepted=%d completed=%d rejected(busy=%d route=%d proto=%d) dialfail=%d bytes(fwd=%d back=%d) maxbuf=%d",
 						s.Active, s.Accepted, s.Completed, s.RejectedBusy, s.RejectedRoute, s.RejectedProto,
-						s.BytesForward, s.BytesBackward, s.MaxBuffered)
+						s.DialFailures, s.BytesForward, s.BytesBackward, s.MaxBuffered)
 				}
 			}
 		}()

@@ -13,9 +13,15 @@
 // Benchmark mode sends synthetic data and prints the achieved throughput:
 //
 //	lslcat -route depot:5000 -target server:7000 -bench 64M
+//
+// Self-healing mode retries transient failures with resume and routes
+// around dead depots (needs a seekable source):
+//
+//	lslcat -route depot1:5000,depot2:5000 -target server:7000 -file big.iso -retries 8
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -34,15 +40,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lslcat: ")
 	var (
-		listen = flag.String("listen", "", "accept sessions on this address and copy payload to stdout")
-		routeS = flag.String("route", "", "comma-separated depot addresses (loose source route)")
-		target = flag.String("target", "", "final destination address")
-		file   = flag.String("file", "", "send this file (enables digest, sets size)")
-		sizeS  = flag.String("size", "", "payload size in bytes when sending from stdin")
-		benchS = flag.String("bench", "", "send this much synthetic data (e.g. 64M) and report throughput")
-		eager  = flag.Bool("eager", false, "stream without waiting for the end-to-end accept")
-		noDig  = flag.Bool("no-digest", false, "disable the end-to-end MD5 trailer")
-		quiet  = flag.Bool("q", false, "suppress progress output")
+		listen  = flag.String("listen", "", "accept sessions on this address and copy payload to stdout")
+		routeS  = flag.String("route", "", "comma-separated depot addresses (loose source route)")
+		target  = flag.String("target", "", "final destination address")
+		file    = flag.String("file", "", "send this file (enables digest, sets size)")
+		sizeS   = flag.String("size", "", "payload size in bytes when sending from stdin")
+		benchS  = flag.String("bench", "", "send this much synthetic data (e.g. 64M) and report throughput")
+		eager   = flag.Bool("eager", false, "stream without waiting for the end-to-end accept")
+		noDig   = flag.Bool("no-digest", false, "disable the end-to-end MD5 trailer")
+		retries = flag.Int("retries", 0, "self-heal transient failures with up to this many re-dials (resume + failover; needs a seekable source: -file or -bench)")
+		quiet   = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
@@ -50,7 +57,7 @@ func main() {
 	case *listen != "":
 		runTarget(*listen, *quiet)
 	case *target != "":
-		runSender(*routeS, *target, *file, *sizeS, *benchS, *eager, *noDig, *quiet)
+		runSender(*routeS, *target, *file, *sizeS, *benchS, *eager, *noDig, *retries, *quiet)
 	default:
 		log.Fatal("need -listen (receive) or -target (send); see -h")
 	}
@@ -90,7 +97,7 @@ func runTarget(addr string, quiet bool) {
 	}
 }
 
-func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest, quiet bool) {
+func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest bool, retries int, quiet bool) {
 	route := lsl.Route{Target: target}
 	if routeS != "" {
 		route.Via = strings.Split(routeS, ",")
@@ -105,7 +112,18 @@ func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest, quie
 			log.Fatalf("bad -bench: %v", err)
 		}
 		size = n
-		src = io.LimitReader(rand.New(rand.NewSource(1)), n)
+		if retries > 0 {
+			// The resilient engine re-reads the stream from the resume
+			// offset, so the synthetic payload must be seekable: hold it in
+			// memory instead of streaming from the generator.
+			buf, err := io.ReadAll(io.LimitReader(rand.New(rand.NewSource(1)), n))
+			if err != nil {
+				log.Fatal(err)
+			}
+			src = bytes.NewReader(buf)
+		} else {
+			src = io.LimitReader(rand.New(rand.NewSource(1)), n)
+		}
 	case file != "":
 		f, err := os.Open(file)
 		if err != nil {
@@ -127,6 +145,18 @@ func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest, quie
 			}
 			size = n
 		}
+	}
+
+	if retries > 0 {
+		rs, ok := src.(io.ReadSeeker)
+		if !ok {
+			log.Fatal("-retries needs a seekable source: use -file or -bench, not stdin")
+		}
+		if eager {
+			log.Fatal("-retries and -eager are mutually exclusive (healing needs the resume handshake)")
+		}
+		runResilient(route, rs, size, retries, noDigest, quiet)
+		return
 	}
 
 	opts := []lsl.Option{}
@@ -164,5 +194,32 @@ func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest, quie
 			"lslcat: session %s: %d bytes via %d depot(s) in %v (setup %v) = %.2f Mbit/s\n",
 			c.SessionID(), n, hops, el.Round(time.Millisecond), setup.Round(time.Millisecond),
 			float64(n)*8/el.Seconds()/1e6)
+	}
+}
+
+// runResilient sends src through the self-healing transfer engine: every
+// transient failure (reset, dead depot, timeout) is retried with resume,
+// and a dead first-hop depot is dropped from the route.
+func runResilient(route lsl.Route, src io.ReadSeeker, size int64, retries int, noDigest, quiet bool) {
+	opts := []lsl.TransferOption{
+		lsl.WithTransferPolicy(lsl.TransferPolicy{MaxAttempts: retries + 1}),
+	}
+	if noDigest {
+		opts = append(opts, lsl.WithoutTransferDigest())
+	}
+	if !quiet {
+		opts = append(opts, lsl.WithTransferLogf(log.Printf))
+	}
+	start := time.Now()
+	res, err := lsl.Transfer(context.Background(), route, src, size, opts...)
+	if err != nil {
+		log.Fatalf("transfer: %v", err)
+	}
+	if !quiet {
+		el := time.Since(start)
+		fmt.Fprintf(os.Stderr,
+			"lslcat: session %s: %d bytes via %d depot(s) in %v = %.2f Mbit/s (attempts %d, failovers %d)\n",
+			res.Session, res.Bytes, len(res.Route.Via), el.Round(time.Millisecond),
+			float64(res.Bytes)*8/el.Seconds()/1e6, res.Attempts, res.Failovers)
 	}
 }

@@ -1,0 +1,97 @@
+// Package backoff is the one retry-delay policy shared by every layer
+// that re-dials a dead peer: the depot's staged redelivery loop and the
+// initiator's self-healing transfer engine (internal/resilience). Both
+// need the same thing — capped exponential growth so a recovering
+// receiver is not hammered, plus jitter so concurrent retriers that
+// failed together do not retry in lockstep (the thundering-herd failure
+// mode of fixed-interval retries).
+//
+// Jitter is drawn from a caller-supplied *rand.Rand, so a seeded source
+// makes every delay sequence deterministically reproducible in tests
+// while production callers seed from the session ID and wall clock.
+package backoff
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Defaults used when a Policy field is zero.
+const (
+	DefaultBase = 100 * time.Millisecond
+	DefaultMax  = 10 * time.Second
+)
+
+// Policy describes capped exponential backoff. The zero value is usable
+// (DefaultBase doubling up to DefaultMax).
+type Policy struct {
+	// Base is the envelope of the first delay.
+	Base time.Duration
+	// Max caps the envelope; growth stops here.
+	Max time.Duration
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = DefaultBase
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultMax
+	}
+	if p.Max < p.Base {
+		p.Max = p.Base
+	}
+	return p
+}
+
+// Envelope returns the un-jittered delay bound before retry attempt
+// (1-based): Base<<(attempt-1), capped at Max and overflow-safe.
+func (p Policy) Envelope(attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.Base
+	for i := 1; i < attempt; i++ {
+		d <<= 1
+		if d >= p.Max || d <= 0 { // cap or shift overflow
+			return p.Max
+		}
+	}
+	if d > p.Max {
+		return p.Max
+	}
+	return d
+}
+
+// Delay returns the jittered delay before retry attempt (1-based):
+// uniform in [Envelope/2, Envelope] ("equal jitter" — decorrelated but
+// never retrying earlier than half the envelope, so the exponential
+// shape survives). A nil rng returns the envelope itself, fully
+// deterministic.
+func (p Policy) Delay(attempt int, rng *rand.Rand) time.Duration {
+	e := p.Envelope(attempt)
+	if rng == nil || e < 2 {
+		return e
+	}
+	half := e / 2
+	return half + time.Duration(rng.Int63n(int64(e-half)+1))
+}
+
+// Sleep waits for d or until ctx is cancelled, returning ctx.Err in the
+// latter case. It never busy-waits and never sleeps uninterruptibly — a
+// shutdown mid-backoff unblocks immediately.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -43,6 +43,20 @@ var (
 	ErrNeedLength     = errors.New("lsl: digest requires a known content length")
 )
 
+// DialError reports a failure to establish the session's first transport
+// connection; Hop names the address that could not be reached. Resilient
+// callers (internal/resilience) use errors.As to tell a dead first hop —
+// a candidate for route failover — from an in-session failure.
+type DialError struct {
+	Hop string
+	Err error
+}
+
+func (e *DialError) Error() string { return fmt.Sprintf("lsl: dial first hop %s: %v", e.Hop, e.Err) }
+
+// Unwrap exposes the transport error for errors.Is chains.
+func (e *DialError) Unwrap() error { return e.Err }
+
 // Route is a loose source route: the depots to traverse, in order, then
 // the final target.
 type Route struct {
@@ -175,7 +189,7 @@ func Dial(ctx context.Context, route Route, opts ...Option) (*Conn, error) {
 	hops := route.Hops()
 	nc, err := dial(ctx, "tcp", hops[0])
 	if err != nil {
-		return nil, fmt.Errorf("lsl: dial first hop %s: %w", hops[0], err)
+		return nil, &DialError{Hop: hops[0], Err: err}
 	}
 	id := o.Session
 	if id == (wire.SessionID{}) {

@@ -1,0 +1,137 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"lsl/internal/core"
+	"lsl/internal/wire"
+)
+
+// interrupt opens a resumable digested session, writes part of the
+// payload, and kills the transport, leaving resume state at the target.
+func interrupt(t *testing.T, addr string, payload []byte) wire.SessionID {
+	t.Helper()
+	id := wire.NewSessionID()
+	c, err := core.Dial(context.Background(), core.Route{Target: addr},
+		core.WithDigest(), core.WithContentLength(int64(len(payload))),
+		core.WithSession(id), core.WithResume())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(payload[:len(payload)/2]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the bytes land and be counted
+	c.Close()
+	return id
+}
+
+// waitStates polls until the listener's resume table reaches want.
+func waitStates(t *testing.T, l *core.Listener, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if l.ResumeStates() == want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("resume table stuck at %d states, want %d", l.ResumeStates(), want)
+}
+
+func TestResumeTableEvictsByTTL(t *testing.T) {
+	addr, l := startTarget(t, func(sc *core.ServerConn) {
+		io.Copy(io.Discard, sc)
+		sc.Close()
+	})
+	// The TTL must comfortably exceed the time to set up all three
+	// interrupted sessions, or the sweep riding their own handshakes
+	// evicts the early ones before the assertion.
+	l.SessionTTL = 400 * time.Millisecond
+
+	payload := randBytes(10_000, 40)
+	for i := 0; i < 3; i++ {
+		interrupt(t, addr, payload)
+	}
+	waitStates(t, l, 3)
+
+	// Age every entry past the TTL, then trigger a sweep with a fresh
+	// handshake: the stale three must go; the new session completes and
+	// deletes itself, leaving an empty table.
+	time.Sleep(500 * time.Millisecond)
+	c, err := core.Dial(context.Background(), core.Route{Target: addr},
+		core.WithContentLength(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write([]byte("ping"))
+	c.CloseWrite()
+	io.Copy(io.Discard, c) // wait for the target to finish the stream
+	c.Close()
+	waitStates(t, l, 0)
+}
+
+func TestStaleEntriesDoNotBlockResumableSessions(t *testing.T) {
+	// The regression this guards: with no TTL, MaxSessions stale entries
+	// would evict each other one-at-a-time but the table stays full of
+	// zombies; with the sweep, a full table of expired entries clears in
+	// one handshake.
+	addr, l := startTarget(t, func(sc *core.ServerConn) {
+		io.Copy(io.Discard, sc)
+		sc.Close()
+	})
+	l.MaxSessions = 4
+	l.SessionTTL = 500 * time.Millisecond
+
+	payload := randBytes(10_000, 41)
+	for i := 0; i < 4; i++ {
+		interrupt(t, addr, payload)
+	}
+	waitStates(t, l, 4)
+	time.Sleep(600 * time.Millisecond)
+
+	// A new resumable session must get a slot and, after interruption,
+	// still find its own state there (the zombies are gone, not it).
+	id := interrupt(t, addr, payload)
+	waitStates(t, l, 1)
+
+	c, err := core.Dial(context.Background(), core.Route{Target: addr},
+		core.WithDigest(), core.WithContentLength(int64(len(payload))),
+		core.WithSession(id), core.WithResume())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Offset() <= 0 {
+		t.Fatalf("resume offset %d: the fresh session's state was evicted instead of the zombies", c.Offset())
+	}
+	if err := c.SendReader(bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	// Completion must delete the entry without waiting for the TTL.
+	waitStates(t, l, 0)
+}
+
+func TestCompletedSessionDeletesStateImmediately(t *testing.T) {
+	addr, l := startTarget(t, func(sc *core.ServerConn) {
+		io.Copy(io.Discard, sc)
+		sc.Close()
+	})
+	l.SessionTTL = time.Hour // only the completion-time delete can clear it
+
+	payload := randBytes(50_000, 42)
+	c, err := core.Dial(context.Background(), core.Route{Target: addr},
+		core.WithDigest(), core.WithContentLength(int64(len(payload))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write(payload)
+	c.CloseWrite()
+	io.Copy(io.Discard, c)
+	c.Close()
+	waitStates(t, l, 0)
+}

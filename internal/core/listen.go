@@ -22,17 +22,29 @@ type sessionState struct {
 	updated  time.Time
 }
 
+// DefaultSessionTTL is how long interrupted-session resume state is
+// retained when Listener.SessionTTL is left zero at Listen/NewListener
+// time.
+const DefaultSessionTTL = 15 * time.Minute
+
 // Listener accepts LSL sessions at a session target.
 type Listener struct {
 	ln net.Listener
 
-	mu       sync.Mutex
-	sessions map[wire.SessionID]*sessionState
+	mu        sync.Mutex
+	sessions  map[wire.SessionID]*sessionState
+	lastSweep time.Time
 
 	// HandshakeTimeout bounds the header read per connection (default 15s).
 	HandshakeTimeout time.Duration
 	// MaxSessions bounds the resume table.
 	MaxSessions int
+	// SessionTTL bounds how long an interrupted session's resume state is
+	// retained: entries idle longer than this are swept, so abandoned
+	// sessions cannot permanently occupy MaxSessions slots and block new
+	// resumable sessions. Non-positive disables the sweep (completed
+	// sessions are still deleted eagerly).
+	SessionTTL time.Duration
 }
 
 // Listen starts an LSL target listener on addr.
@@ -51,6 +63,7 @@ func NewListener(ln net.Listener) *Listener {
 		sessions:         make(map[wire.SessionID]*sessionState),
 		HandshakeTimeout: 15 * time.Second,
 		MaxSessions:      1024,
+		SessionTTL:       DefaultSessionTTL,
 	}
 }
 
@@ -110,13 +123,15 @@ func (l *Listener) handshake(nc net.Conn) (*ServerConn, error) {
 
 // sessionFor finds or creates the resumable state for a header.
 func (l *Listener) sessionFor(hdr *wire.OpenHeader) *sessionState {
+	now := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.sweepLocked(now)
 	if st, ok := l.sessions[hdr.Session]; ok && hdr.Flags&wire.FlagResume != 0 {
-		st.updated = time.Now()
+		st.updated = now
 		return st
 	}
-	st := &sessionState{updated: time.Now()}
+	st := &sessionState{updated: now}
 	if hdr.Flags&wire.FlagDigest != 0 {
 		st.hash = md5.New()
 	}
@@ -134,6 +149,33 @@ func (l *Listener) sessionFor(hdr *wire.OpenHeader) *sessionState {
 	}
 	l.sessions[hdr.Session] = st
 	return st
+}
+
+// sweepLocked evicts resume entries idle past SessionTTL. It runs during
+// handshakes (no background goroutine to manage), rate-limited to once
+// per quarter-TTL unless the table is at capacity — then it always runs,
+// so stale entries can never starve a new resumable session.
+func (l *Listener) sweepLocked(now time.Time) {
+	if l.SessionTTL <= 0 {
+		return
+	}
+	if now.Sub(l.lastSweep) < l.SessionTTL/4 && len(l.sessions) < l.MaxSessions {
+		return
+	}
+	l.lastSweep = now
+	for id, s := range l.sessions {
+		if now.Sub(s.updated) > l.SessionTTL {
+			delete(l.sessions, id)
+		}
+	}
+}
+
+// ResumeStates reports how many interrupted sessions currently hold
+// resumable state (observability and tests).
+func (l *Listener) ResumeStates() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.sessions)
 }
 
 func (l *Listener) dropSession(id wire.SessionID) {
@@ -236,6 +278,11 @@ func (s *ServerConn) finishDigest() error {
 	sum := s.st.hash.Sum(nil)
 	if subtle.ConstantTimeCompare(sum, trailer) != 1 {
 		s.failed = ErrDigestMismatch
+		// The state is poisoned: the offset says everything landed but the
+		// hash is wrong, so no resume can ever verify. Delete it so a fresh
+		// retry of the session starts clean instead of inheriting the
+		// corruption.
+		s.l.dropSession(s.hdr.Session)
 		return s.failed
 	}
 	s.verified = true

@@ -73,8 +73,16 @@ type Config struct {
 	Logf func(format string, args ...interface{})
 	// MaxStageBytes bounds a staged (custody) session's payload.
 	MaxStageBytes int64
-	// StageRetryInterval is the redelivery backoff for staged sessions.
+	// StageRetryInterval is the redelivery backoff *base* for staged
+	// sessions; successive attempts back off exponentially from here.
 	StageRetryInterval time.Duration
+	// StageRetryMax caps the exponential redelivery backoff (default 30s).
+	StageRetryMax time.Duration
+	// RetryJitterSeed seeds redelivery jitter. Each staged session
+	// decorrelates further with its session ID, so concurrent custody
+	// sessions never retry in lockstep against a recovering receiver.
+	// Zero draws a random per-depot seed; fix it for deterministic tests.
+	RetryJitterSeed int64
 	// StageDeadline bounds how long staged payloads are retried before
 	// being discarded.
 	StageDeadline time.Duration
@@ -116,6 +124,15 @@ func (c Config) withDefaults() Config {
 	if c.StageRetryInterval == 0 {
 		c.StageRetryInterval = DefaultStageRetryInterval
 	}
+	if c.StageRetryMax == 0 {
+		c.StageRetryMax = DefaultStageRetryMax
+	}
+	if c.StageRetryMax < c.StageRetryInterval {
+		c.StageRetryMax = c.StageRetryInterval
+	}
+	if c.RetryJitterSeed == 0 {
+		c.RetryJitterSeed = time.Now().UnixNano()
+	}
 	if c.StageDeadline == 0 {
 		c.StageDeadline = DefaultStageDeadline
 	}
@@ -142,10 +159,17 @@ type Stats struct {
 	// ControlWriteFailures counts accept/reject frames dropped because the
 	// peer stalled past the write deadline.
 	ControlWriteFailures uint64
-	Staged               uint64
-	StagedDelivered      uint64
-	StagedAborted        uint64
-	StagedBytes          uint64
+	// DialFailures counts next-hop dials that failed, summed across hops
+	// (per-hop breakdown on lsd_next_hop_dial_failures_total).
+	DialFailures uint64
+	Staged       uint64
+	// StagedDeliveryAttempts counts every staged delivery attempt,
+	// retries included — attempts minus delivered is the live measure of
+	// how hard the depot is fighting an unreachable downstream.
+	StagedDeliveryAttempts uint64
+	StagedDelivered        uint64
+	StagedAborted          uint64
+	StagedBytes            uint64
 }
 
 // Histogram bucket bounds for the admin metrics.
@@ -181,7 +205,10 @@ type Depot struct {
 	sessionDur    *metrics.HistogramVec
 	sessionBytes  *metrics.Histogram
 
+	nextHopDialFail *metrics.CounterVec
+
 	staged          *metrics.Counter
+	stagedAttempts  *metrics.Counter
 	stagedDelivered *metrics.Counter
 	stagedAborted   *metrics.Counter
 	stagedBytes     *metrics.Counter
@@ -230,8 +257,12 @@ func New(cfg Config) *Depot {
 		"Session duration from header receipt to teardown, by outcome.", "outcome", durationBuckets)
 	d.sessionBytes = reg.Histogram("lsd_session_bytes",
 		"Bytes (both directions) moved by one finished relay session.", byteBuckets)
+	d.nextHopDialFail = reg.CounterVec("lsd_next_hop_dial_failures_total",
+		"Next-hop dial failures (relay and staged), by next-hop address.", "next_hop")
 	d.staged = reg.Counter("lsd_staged_sessions_total",
 		"Staged sessions taken into custody.")
+	d.stagedAttempts = reg.Counter("lsd_staged_delivery_attempts_total",
+		"Staged delivery attempts, redelivery retries included.")
 	d.stagedDelivered = reg.Counter("lsd_staged_delivered_total",
 		"Staged sessions delivered downstream.")
 	d.stagedAborted = reg.Counter("lsd_staged_aborted_total",
@@ -244,21 +275,23 @@ func New(cfg Config) *Depot {
 // Stats snapshots the counters.
 func (d *Depot) Stats() Stats {
 	return Stats{
-		Accepted:             d.accepted.Value(),
-		RejectedBusy:         d.rejectedBusy.Value(),
-		RejectedRoute:        d.rejectedRoute.Value(),
-		RejectedProto:        d.rejectedProto.Value(),
-		Completed:            d.completed.Value(),
-		Canceled:             d.canceled.Value(),
-		BytesForward:         d.bytesFwd.Value(),
-		BytesBackward:        d.bytesBack.Value(),
-		Active:               d.active.Value(),
-		MaxBuffered:          d.relayHigh.Value(),
-		ControlWriteFailures: d.ctrlWriteFail.Value(),
-		Staged:               d.staged.Value(),
-		StagedDelivered:      d.stagedDelivered.Value(),
-		StagedAborted:        d.stagedAborted.Value(),
-		StagedBytes:          d.stagedBytes.Value(),
+		Accepted:               d.accepted.Value(),
+		RejectedBusy:           d.rejectedBusy.Value(),
+		RejectedRoute:          d.rejectedRoute.Value(),
+		RejectedProto:          d.rejectedProto.Value(),
+		Completed:              d.completed.Value(),
+		Canceled:               d.canceled.Value(),
+		BytesForward:           d.bytesFwd.Value(),
+		BytesBackward:          d.bytesBack.Value(),
+		Active:                 d.active.Value(),
+		MaxBuffered:            d.relayHigh.Value(),
+		ControlWriteFailures:   d.ctrlWriteFail.Value(),
+		DialFailures:           d.nextHopDialFail.Sum(),
+		Staged:                 d.staged.Value(),
+		StagedDeliveryAttempts: d.stagedAttempts.Value(),
+		StagedDelivered:        d.stagedDelivered.Value(),
+		StagedAborted:          d.stagedAborted.Value(),
+		StagedBytes:            d.stagedBytes.Value(),
 	}
 }
 
@@ -482,8 +515,9 @@ func (s *session) dial(ctx context.Context) bool {
 	down, err := d.cfg.Dial(dctx, "tcp", next)
 	cancel()
 	if err != nil {
+		d.nextHopDialFail.With(next).Inc()
 		d.logf("depot: session %s next hop %s unreachable: %v", s.hdr.Session, next, err)
-		s.fail(d.rejectedRoute, OutcomeRejectedRoute, wire.CodeRejectRoute)
+		s.fail(d.rejectedRoute, OutcomeDialFailed, wire.CodeRejectRoute)
 		return false
 	}
 	s.down = down

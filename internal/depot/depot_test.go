@@ -185,6 +185,22 @@ func TestDepotDialFailureRejects(t *testing.T) {
 	if d.Stats().RejectedRoute != 1 {
 		t.Fatal("route rejection not counted")
 	}
+	if d.Stats().DialFailures != 1 {
+		t.Fatalf("dial failures = %d, want 1", d.Stats().DialFailures)
+	}
+	// The session ring distinguishes a dead next hop from a malformed
+	// route even though both reject with the same wire code.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		recent := d.Sessions().Recent
+		if len(recent) == 1 && recent[0].Outcome == OutcomeDialFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ring outcome never became %q: %+v", OutcomeDialFailed, recent)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 func TestDepotAdmissionControl(t *testing.T) {

@@ -10,11 +10,15 @@ import (
 // Session outcomes recorded in the recent-session ring and used as the
 // label on the per-outcome duration histogram.
 const (
-	OutcomeCompleted      = "completed"
-	OutcomeCanceled       = "canceled"
-	OutcomeRejectedBusy   = "rejected-busy"
-	OutcomeRejectedRoute  = "rejected-route"
-	OutcomeRejectedProto  = "rejected-proto"
+	OutcomeCompleted     = "completed"
+	OutcomeCanceled      = "canceled"
+	OutcomeRejectedBusy  = "rejected-busy"
+	OutcomeRejectedRoute = "rejected-route"
+	OutcomeRejectedProto = "rejected-proto"
+	// OutcomeDialFailed marks relay sessions refused because the next hop
+	// could not be dialed — distinct from rejected-route (a misrouted
+	// header) so operators can tell a dead downstream from a bad route.
+	OutcomeDialFailed     = "dial-failed"
 	OutcomeStagedDeliver  = "staged-delivered"
 	OutcomeStagedAborted  = "staged-aborted"
 	OutcomeStagedUpFailed = "staged-upload-failed"

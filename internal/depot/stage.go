@@ -3,11 +3,14 @@ package depot
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"time"
 
+	"lsl/internal/backoff"
 	"lsl/internal/wire"
 	"lsl/internal/xfer"
 )
@@ -33,6 +36,8 @@ const (
 	DefaultMaxStageBytes = 64 << 20
 	// DefaultStageRetryInterval is the redelivery backoff base.
 	DefaultStageRetryInterval = 2 * time.Second
+	// DefaultStageRetryMax caps the exponential redelivery backoff.
+	DefaultStageRetryMax = 30 * time.Second
 	// DefaultStageDeadline is how long the depot tries before discarding.
 	DefaultStageDeadline = 5 * time.Minute
 )
@@ -152,7 +157,12 @@ func stagedPeer(c netConnLike) string {
 }
 
 // deliverStaged pushes a custody buffer over the remaining route, retrying
-// with linear backoff until the stage deadline or cancellation.
+// with capped exponential backoff until the stage deadline or
+// cancellation. Jitter is seeded from the depot's RetryJitterSeed XOR the
+// session ID: deterministic under test, but concurrent staged sessions
+// that failed together spread out instead of retrying in lockstep against
+// a receiver that is just coming back (the thundering-herd mode of the
+// old fixed-interval retry).
 func (d *Depot) deliverStaged(ctx context.Context, hdr *wire.OpenHeader, payload []byte) error {
 	next, ok := hdr.NextHop()
 	if !ok {
@@ -165,10 +175,13 @@ func (d *Depot) deliverStaged(ctx context.Context, hdr *wire.OpenHeader, payload
 	if err != nil {
 		return err
 	}
+	pol := backoff.Policy{Base: d.cfg.StageRetryInterval, Max: d.cfg.StageRetryMax}
+	rng := rand.New(rand.NewSource(d.cfg.RetryJitterSeed ^ int64(binary.BigEndian.Uint64(fwd.Session[:8]))))
 	deadline := time.Now().Add(d.cfg.StageDeadline)
 	attempt := 0
 	for {
 		attempt++
+		d.stagedAttempts.Inc()
 		err := d.attemptDelivery(ctx, next, enc, payload, fwd.Session)
 		if err == nil {
 			return nil
@@ -182,10 +195,8 @@ func (d *Depot) deliverStaged(ctx context.Context, hdr *wire.OpenHeader, payload
 		d.logf("depot: staged session %s delivery attempt %d failed: %v", fwd.Session, attempt, err)
 		// Backoff that shutdown can interrupt — never an uninterruptible
 		// sleep on the drain path.
-		select {
-		case <-time.After(d.cfg.StageRetryInterval):
-		case <-ctx.Done():
-			return fmt.Errorf("depot shutting down: %w", ctx.Err())
+		if err := backoff.Sleep(ctx, pol.Delay(attempt, rng)); err != nil {
+			return fmt.Errorf("depot shutting down: %w", err)
 		}
 	}
 }
@@ -195,6 +206,7 @@ func (d *Depot) attemptDelivery(ctx context.Context, next string, hdr, payload [
 	down, err := d.cfg.Dial(dctx, "tcp", next)
 	cancel()
 	if err != nil {
+		d.nextHopDialFail.With(next).Inc()
 		return err
 	}
 	defer down.Close()

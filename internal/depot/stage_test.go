@@ -124,6 +124,15 @@ func TestStagedDeliveryToLateReceiver(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatalf("late delivery never happened (stats %+v)", d.Stats())
 	}
+	// At least one refused attempt preceded the successful one, and both
+	// are visible in the staged-attempt and dial-failure counters.
+	st := d.Stats()
+	if st.StagedDeliveryAttempts < 2 {
+		t.Fatalf("staged delivery attempts = %d, want >= 2", st.StagedDeliveryAttempts)
+	}
+	if st.DialFailures < 1 {
+		t.Fatalf("dial failures = %d, want >= 1", st.DialFailures)
+	}
 }
 
 func TestStagedRequiresContentLength(t *testing.T) {

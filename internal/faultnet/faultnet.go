@@ -1,0 +1,268 @@
+// Package faultnet is a deterministic fault-injection harness for the
+// session layer: a core.Dialer/net.Conn wrapper that injects connection
+// refusals, mid-stream resets after an exact byte count, stalls, and
+// latency from a scripted schedule. Every failure mode a flaky WAN can
+// produce is reproducible byte-for-byte in a unit test, which is what
+// makes the self-healing engine (internal/resilience) provable rather
+// than "usually works".
+//
+// Faults are scripted per destination address and consumed one step per
+// dial, in order; once an address's script is exhausted, dials pass
+// through untouched. Chaos derives a whole schedule from a seed, so the
+// same seed always produces the same fault sequence (run tests with
+// -count=2 to prove schedule independence).
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"lsl/internal/core"
+)
+
+// Injected errors. Both unwrap from the *net.OpError-shaped errors the
+// harness returns, so errors.Is works through the session layer's wraps.
+var (
+	// ErrDialRefused is the injected equivalent of ECONNREFUSED.
+	ErrDialRefused = errors.New("faultnet: connection refused (injected)")
+	// ErrReset is the injected equivalent of ECONNRESET mid-stream.
+	ErrReset = errors.New("faultnet: connection reset (injected)")
+	// ErrStalled is returned once a stalled connection is torn down.
+	ErrStalled = errors.New("faultnet: connection stalled (injected)")
+)
+
+// Step scripts the faults for one dial to an address. The zero Step is a
+// clean passthrough.
+type Step struct {
+	// RefuseDial fails the dial immediately (the depot is down).
+	RefuseDial bool
+	// DialLatency delays the dial before it succeeds or refuses.
+	DialLatency time.Duration
+	// ResetAfterBytes kills the connection (both directions) once exactly
+	// this many bytes have been written through it; 0 means never.
+	ResetAfterBytes int64
+	// StallAfterBytes blocks writes indefinitely after this many bytes —
+	// the peer is alive but wedged. Unblocked only by Close; 0 = never.
+	StallAfterBytes int64
+	// WriteLatency delays each Write (per-chunk pacing).
+	WriteLatency time.Duration
+}
+
+func (s Step) clean() bool { return s == Step{} }
+
+// Network wraps an inner dialer with scripted faults. Safe for
+// concurrent use.
+type Network struct {
+	next core.Dialer
+
+	mu      sync.Mutex
+	scripts map[string][]Step
+	dials   map[string]int
+	resets  int
+}
+
+// New builds a fault network in front of next (nil means the real
+// net.Dialer).
+func New(next core.Dialer) *Network {
+	if next == nil {
+		var d net.Dialer
+		next = d.DialContext
+	}
+	return &Network{
+		next:    next,
+		scripts: make(map[string][]Step),
+		dials:   make(map[string]int),
+	}
+}
+
+// Script appends fault steps for addr; each subsequent dial to addr
+// consumes one step, in order.
+func (n *Network) Script(addr string, steps ...Step) {
+	n.mu.Lock()
+	n.scripts[addr] = append(n.scripts[addr], steps...)
+	n.mu.Unlock()
+}
+
+// ChaosConfig bounds a seeded random fault schedule.
+type ChaosConfig struct {
+	// Steps is how many faulty dials to schedule before going clean.
+	Steps int
+	// RefuseProb is the probability a step refuses the dial outright;
+	// otherwise the step resets mid-stream.
+	RefuseProb float64
+	// MaxResetBytes bounds the reset point (uniform in [1, MaxResetBytes]).
+	MaxResetBytes int64
+	// MaxDialLatency and MaxWriteLatency bound injected latency (0 = none).
+	MaxDialLatency  time.Duration
+	MaxWriteLatency time.Duration
+}
+
+// Chaos derives a deterministic fault schedule for addr from seed and
+// scripts it, returning the generated steps so tests can assert on the
+// exact schedule. The same (seed, cfg) always yields the same steps.
+func (n *Network) Chaos(addr string, seed int64, cfg ChaosConfig) []Step {
+	rng := rand.New(rand.NewSource(seed))
+	steps := make([]Step, 0, cfg.Steps)
+	for i := 0; i < cfg.Steps; i++ {
+		var s Step
+		if rng.Float64() < cfg.RefuseProb {
+			s.RefuseDial = true
+		} else if cfg.MaxResetBytes > 0 {
+			s.ResetAfterBytes = 1 + rng.Int63n(cfg.MaxResetBytes)
+		} else {
+			s.RefuseDial = true // no reset budget: refusal is the only fault left
+		}
+		if cfg.MaxDialLatency > 0 {
+			s.DialLatency = time.Duration(rng.Int63n(int64(cfg.MaxDialLatency) + 1))
+		}
+		if cfg.MaxWriteLatency > 0 {
+			s.WriteLatency = time.Duration(rng.Int63n(int64(cfg.MaxWriteLatency) + 1))
+		}
+		steps = append(steps, s)
+	}
+	n.Script(addr, steps...)
+	return steps
+}
+
+// DialContext implements core.Dialer with the scripted faults applied.
+func (n *Network) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	n.mu.Lock()
+	n.dials[addr]++
+	var step Step
+	if q := n.scripts[addr]; len(q) > 0 {
+		step, n.scripts[addr] = q[0], q[1:]
+	}
+	n.mu.Unlock()
+	if step.DialLatency > 0 {
+		t := time.NewTimer(step.DialLatency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	if step.RefuseDial {
+		return nil, &net.OpError{Op: "dial", Net: network, Addr: fakeAddr(addr), Err: ErrDialRefused}
+	}
+	nc, err := n.next(ctx, network, addr)
+	if err != nil || step.clean() {
+		return nc, err
+	}
+	return &Conn{Conn: nc, net: n, step: step, unstall: make(chan struct{})}, nil
+}
+
+// Dials reports how many times addr has been dialed through the network.
+func (n *Network) Dials(addr string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dials[addr]
+}
+
+// Resets reports how many injected mid-stream resets have fired.
+func (n *Network) Resets() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.resets
+}
+
+// Pending reports how many unconsumed fault steps remain for addr.
+func (n *Network) Pending(addr string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.scripts[addr])
+}
+
+// Conn is a faulty transport connection. The fault thresholds apply to
+// the written (forward) byte stream — a reset also kills reads, exactly
+// like a peer process dying.
+type Conn struct {
+	net.Conn
+	net  *Network
+	step Step
+
+	mu      sync.Mutex
+	written int64
+	dead    bool
+
+	stallOnce sync.Once
+	closeOnce sync.Once
+	unstall   chan struct{}
+}
+
+// Write applies latency, then writes up to the scripted reset/stall
+// threshold. Crossing the reset point closes the underlying transport
+// (both directions) and returns ErrReset; crossing the stall point
+// blocks until Close.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.step.WriteLatency > 0 {
+		time.Sleep(c.step.WriteLatency)
+	}
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, &net.OpError{Op: "write", Net: "tcp", Err: ErrReset}
+	}
+	allowed := int64(len(p))
+	var fault error
+	if c.step.ResetAfterBytes > 0 && c.written+allowed >= c.step.ResetAfterBytes {
+		allowed = c.step.ResetAfterBytes - c.written
+		fault = ErrReset
+		c.dead = true
+	} else if c.step.StallAfterBytes > 0 && c.written+allowed >= c.step.StallAfterBytes {
+		allowed = c.step.StallAfterBytes - c.written
+		fault = ErrStalled
+	}
+	c.written += allowed
+	c.mu.Unlock()
+
+	var n int
+	var err error
+	if allowed > 0 {
+		n, err = c.Conn.Write(p[:allowed])
+		if err != nil {
+			return n, err
+		}
+	}
+	switch fault {
+	case nil:
+		return n, nil
+	case ErrReset:
+		c.net.mu.Lock()
+		c.net.resets++
+		c.net.mu.Unlock()
+		c.Conn.Close() // the peer sees the connection die too
+		return n, &net.OpError{Op: "write", Net: "tcp", Err: ErrReset}
+	default: // stall: wedge until Close tears us down
+		<-c.unstall
+		return n, &net.OpError{Op: "write", Net: "tcp", Err: ErrStalled}
+	}
+}
+
+// Close tears the connection down and releases any stalled writer.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.unstall) })
+	c.mu.Lock()
+	c.dead = true
+	c.mu.Unlock()
+	return c.Conn.Close()
+}
+
+// CloseWrite forwards the half-close when the underlying transport
+// supports it (the session layer uses it to propagate EOF).
+func (c *Conn) CloseWrite() error {
+	if cw, ok := c.Conn.(interface{ CloseWrite() error }); ok {
+		return cw.CloseWrite()
+	}
+	return nil
+}
+
+// fakeAddr names the refused destination in the injected *net.OpError.
+type fakeAddr string
+
+func (a fakeAddr) Network() string { return "tcp" }
+func (a fakeAddr) String() string  { return string(a) }

@@ -1,0 +1,238 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// discardServer accepts connections and counts the bytes each delivers,
+// reporting the per-connection totals on a channel.
+func discardServer(t *testing.T) (addr string, counts chan int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	counts = make(chan int64, 16)
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				n, _ := io.Copy(io.Discard, nc)
+				nc.Close()
+				counts <- n
+			}()
+		}
+	}()
+	return ln.Addr().String(), counts
+}
+
+func TestScriptedRefusalThenCleanPassthrough(t *testing.T) {
+	addr, _ := discardServer(t)
+	n := New(nil)
+	n.Script(addr, Step{RefuseDial: true})
+
+	_, err := n.DialContext(context.Background(), "tcp", addr)
+	if !errors.Is(err, ErrDialRefused) {
+		t.Fatalf("want injected refusal, got %v", err)
+	}
+	nc, err := n.DialContext(context.Background(), "tcp", addr)
+	if err != nil {
+		t.Fatalf("second dial should pass through: %v", err)
+	}
+	nc.Close()
+	if n.Dials(addr) != 2 {
+		t.Fatalf("dials=%d", n.Dials(addr))
+	}
+}
+
+func TestResetAfterExactByteCount(t *testing.T) {
+	addr, counts := discardServer(t)
+	n := New(nil)
+	const cut = 1000
+	n.Script(addr, Step{ResetAfterBytes: cut})
+
+	nc, err := n.DialContext(context.Background(), "tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	buf := make([]byte, 4096)
+	var sent int64
+	var werr error
+	for werr == nil {
+		var w int
+		w, werr = nc.Write(buf)
+		sent += int64(w)
+	}
+	if !errors.Is(werr, ErrReset) {
+		t.Fatalf("want injected reset, got %v", werr)
+	}
+	if sent != cut {
+		t.Fatalf("wrote %d bytes before reset, want exactly %d", sent, cut)
+	}
+	select {
+	case got := <-counts:
+		if got != cut {
+			t.Fatalf("server saw %d bytes, want %d", got, cut)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never saw the connection die")
+	}
+	if n.Resets() != 1 {
+		t.Fatalf("resets=%d", n.Resets())
+	}
+}
+
+func TestResetKillsReadsToo(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Keep the server side open; the injected reset must still
+		// unblock the client's read.
+		io.Copy(io.Discard, nc)
+		nc.Close()
+	}()
+	n := New(nil)
+	n.Script(ln.Addr().String(), Step{ResetAfterBytes: 10})
+	nc, err := n.DialContext(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := nc.Read(make([]byte, 1))
+		readErr <- err
+	}()
+	if _, err := nc.Write(make([]byte, 64)); !errors.Is(err, ErrReset) {
+		t.Fatalf("want reset, got %v", err)
+	}
+	select {
+	case err := <-readErr:
+		if err == nil {
+			t.Fatal("read survived the reset")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read still blocked after reset")
+	}
+}
+
+func TestStallBlocksUntilClose(t *testing.T) {
+	addr, _ := discardServer(t)
+	n := New(nil)
+	n.Script(addr, Step{StallAfterBytes: 100})
+	nc, err := n.DialContext(context.Background(), "tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := nc.Write(make([]byte, 500))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled write returned early: %v", err)
+	case <-time.After(100 * time.Millisecond):
+		// Good: still wedged.
+	}
+	nc.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("want ErrStalled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not release the stalled writer")
+	}
+}
+
+func TestDialLatencyHonorsContext(t *testing.T) {
+	addr, _ := discardServer(t)
+	n := New(nil)
+	n.Script(addr, Step{DialLatency: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := n.DialContext(ctx, "tcp", addr)
+	if err == nil {
+		t.Fatal("dial succeeded despite cancelled context")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("dial latency ignored context cancellation")
+	}
+}
+
+func TestChaosDeterministicForSeed(t *testing.T) {
+	cfg := ChaosConfig{
+		Steps:          20,
+		RefuseProb:     0.4,
+		MaxResetBytes:  1 << 20,
+		MaxDialLatency: 5 * time.Millisecond,
+	}
+	a := New(nil).Chaos("x:1", 99, cfg)
+	b := New(nil).Chaos("x:1", 99, cfg)
+	if len(a) != len(b) || len(a) != cfg.Steps {
+		t.Fatalf("schedule lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := New(nil).Chaos("x:1", 100, cfg)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestExhaustedScriptIsClean(t *testing.T) {
+	addr, counts := discardServer(t)
+	n := New(nil)
+	if n.Pending(addr) != 0 {
+		t.Fatal("fresh network has pending steps")
+	}
+	nc, err := n.DialContext(context.Background(), "tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nc.(*Conn); ok {
+		t.Fatal("clean dial should not wrap the connection")
+	}
+	payload := make([]byte, 10_000)
+	if _, err := nc.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	nc.Close()
+	select {
+	case got := <-counts:
+		if got != int64(len(payload)) {
+			t.Fatalf("server saw %d bytes", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+}

@@ -131,6 +131,17 @@ func (v *CounterVec) With(value string) *Counter {
 	return c
 }
 
+// Sum totals the family across all label values.
+func (v *CounterVec) Sum() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var total uint64
+	for _, c := range v.children {
+		total += c.Value()
+	}
+	return total
+}
+
 // HistogramVec is a family of histograms partitioned by one label.
 type HistogramVec struct {
 	mu       sync.Mutex

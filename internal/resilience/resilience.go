@@ -1,0 +1,380 @@
+// Package resilience is the self-healing transfer engine: it drives a
+// complete payload to a session target across a loose source route and
+// keeps the session alive through the failures the paper's session layer
+// exists to survive — a conversation "survives the replacement" of its
+// transport connections.
+//
+// Transfer wraps core.Dial + Conn.SendReader in a classify/retry/failover
+// loop:
+//
+//   - Errors are classified permanent (the session was actively refused,
+//     or integrity is provably broken) or transient (dial failure, reset,
+//     stall timeout, truncation). Only transient errors are retried.
+//   - Retries re-dial with the same session ID and the resume flag, so
+//     the target reports its confirmed offset and the transfer continues
+//     from there; with digesting on, the skipped prefix is re-hashed so
+//     the end-to-end MD5 still covers the complete stream.
+//   - Backoff between attempts is capped exponential with seeded jitter
+//     (internal/backoff), interruptible by the context.
+//   - Repeated dial failures at the first hop are treated as a dead
+//     depot: the engine fails over by dropping that depot from Route.Via
+//     (the paper's loose source routes are advisory — the cascade
+//     degrades rather than dies, eventually falling back to a direct
+//     connection to the target).
+//
+// Recovery is observable: every retry, failover, and terminal outcome is
+// counted in lsl_transfer_* metrics (package-default registry, or one the
+// caller supplies), rendered in Prometheus text format exactly like the
+// depot's /metrics endpoint.
+package resilience
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lsl/internal/backoff"
+	"lsl/internal/core"
+	"lsl/internal/metrics"
+	"lsl/internal/wire"
+)
+
+// ErrExhausted wraps the last transient error once the attempt budget is
+// spent.
+var ErrExhausted = errors.New("resilience: retry attempts exhausted")
+
+// errOffsetBeyondLength reports a target whose resume offset exceeds the
+// declared content length — unrecoverable protocol disagreement.
+var errOffsetBeyondLength = errors.New("resilience: target resume offset beyond content length")
+
+// Policy tunes the retry loop. The zero value means the defaults.
+type Policy struct {
+	// MaxAttempts is the total session attempt budget, first try included
+	// (default 8).
+	MaxAttempts int
+	// Backoff shapes the delay between attempts (default 100ms base
+	// doubling to a 5s cap).
+	Backoff backoff.Policy
+	// FailoverAfter is how many consecutive first-hop dial failures mark
+	// the head depot dead and drop it from the route (default 2; negative
+	// disables failover).
+	FailoverAfter int
+	// JitterSeed seeds the backoff jitter; 0 derives the seed from the
+	// session ID, so a pinned session retries on a reproducible schedule.
+	JitterSeed int64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.Backoff.Base <= 0 {
+		p.Backoff.Base = 100 * time.Millisecond
+	}
+	if p.Backoff.Max <= 0 {
+		p.Backoff.Max = 5 * time.Second
+	}
+	if p.FailoverAfter == 0 {
+		p.FailoverAfter = 2
+	}
+	return p
+}
+
+// Result reports how a transfer was achieved.
+type Result struct {
+	// Session is the session ID shared by every sublink of the transfer.
+	Session wire.SessionID
+	// Attempts is the number of sessions dialed (1 = no faults).
+	Attempts int
+	// Retries is Attempts minus the first try.
+	Retries int
+	// Failovers counts depots dropped from the route as dead.
+	Failovers int
+	// Route is the route that carried the final, successful sublink.
+	Route core.Route
+	// Bytes is the payload size delivered end to end.
+	Bytes int64
+	// Duration is wall-clock time across all attempts.
+	Duration time.Duration
+}
+
+// Metrics is the engine's counter set, registered on a metrics.Registry
+// so recovery is observable through the same Prometheus text surface as
+// the depot.
+type Metrics struct {
+	// Retries is lsl_transfer_retries_total.
+	Retries *metrics.Counter
+	// Failovers is lsl_transfer_failovers_total.
+	Failovers *metrics.Counter
+	// Transfers is lsl_transfers_total by terminal outcome
+	// (delivered / rejected / exhausted / canceled).
+	Transfers *metrics.CounterVec
+}
+
+// NewMetrics registers the lsl_transfer_* families on reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		Retries: reg.Counter("lsl_transfer_retries_total",
+			"Transfer session re-dials after a transient failure."),
+		Failovers: reg.Counter("lsl_transfer_failovers_total",
+			"Depots dropped from a transfer's route as dead."),
+		Transfers: reg.CounterVec("lsl_transfers_total",
+			"Finished transfers, by terminal outcome.", "outcome"),
+	}
+}
+
+// Transfer outcome labels on lsl_transfers_total.
+const (
+	OutcomeDelivered = "delivered"
+	OutcomeRejected  = "rejected"
+	OutcomeExhausted = "exhausted"
+	OutcomeCanceled  = "canceled"
+)
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *metrics.Registry
+	defaultMet  *Metrics
+)
+
+// DefaultRegistry returns the process-wide registry holding the
+// lsl_transfer_* metrics of transfers that did not supply their own sink
+// (render it with WritePrometheus).
+func DefaultRegistry() *metrics.Registry {
+	defaultOnce.Do(func() {
+		defaultReg = metrics.NewRegistry()
+		defaultMet = NewMetrics(defaultReg)
+	})
+	return defaultReg
+}
+
+func defaultMetrics() *Metrics {
+	DefaultRegistry()
+	return defaultMet
+}
+
+// config collects per-transfer options.
+type config struct {
+	policy         Policy
+	dial           core.Dialer
+	digest         bool
+	handshake      time.Duration
+	confirmTimeout time.Duration
+	session        wire.SessionID
+	met            *Metrics
+	logf           func(format string, args ...interface{})
+}
+
+// Option tunes one Transfer call.
+type Option func(*config)
+
+// WithPolicy sets the retry/failover policy.
+func WithPolicy(p Policy) Option { return func(c *config) { c.policy = p } }
+
+// WithDialer injects the transport dialer (tests, fault injection,
+// emulation).
+func WithDialer(d core.Dialer) Option { return func(c *config) { c.dial = d } }
+
+// WithoutDigest disables the end-to-end MD5 trailer (on by default —
+// Transfer always knows the content length).
+func WithoutDigest() Option { return func(c *config) { c.digest = false } }
+
+// WithHandshakeTimeout bounds each attempt's session handshake.
+func WithHandshakeTimeout(d time.Duration) Option { return func(c *config) { c.handshake = d } }
+
+// WithConfirmTimeout bounds the post-payload drain that confirms the
+// cascade unwound (default 30s; negative waits indefinitely).
+func WithConfirmTimeout(d time.Duration) Option { return func(c *config) { c.confirmTimeout = d } }
+
+// WithSession pins the session ID (otherwise one is drawn per transfer).
+func WithSession(id wire.SessionID) Option { return func(c *config) { c.session = id } }
+
+// WithMetrics directs the engine's counters at m instead of the package
+// default registry (see NewMetrics).
+func WithMetrics(m *Metrics) Option { return func(c *config) { c.met = m } }
+
+// WithLogf receives one line per recovery event.
+func WithLogf(f func(format string, args ...interface{})) Option {
+	return func(c *config) { c.logf = f }
+}
+
+// Permanent reports whether err can never be fixed by retrying: the
+// session was actively refused by a depot or the target (ErrRejected),
+// integrity is provably broken (ErrDigestMismatch), the request itself is
+// malformed, or the caller's context ended. Everything else — dial
+// failures, resets, stalls, timeouts, truncation — is transient.
+func Permanent(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, core.ErrRejected),
+		errors.Is(err, core.ErrDigestMismatch),
+		errors.Is(err, core.ErrNeedLength),
+		errors.Is(err, errOffsetBeyondLength),
+		errors.Is(err, wire.ErrBadRoute),
+		errors.Is(err, context.Canceled):
+		return true
+	}
+	return false
+}
+
+// Transfer delivers size bytes from src to route's target, healing
+// transient failures automatically: re-dial with resume, capped
+// exponential backoff with jitter, and failover around a dead first-hop
+// depot. A negative size is measured by seeking src to its end. src must
+// remain readable across attempts (SendReader seeks it to the resume
+// offset on every retry).
+//
+// On success the returned Result describes the recovery work performed;
+// on failure it still reports the attempts made, and the error is either
+// permanent (classified by Permanent) or wraps ErrExhausted.
+func Transfer(ctx context.Context, route core.Route, src io.ReadSeeker, size int64, opts ...Option) (*Result, error) {
+	cfg := config{digest: true, confirmTimeout: 30 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pol := cfg.policy.withDefaults()
+	met := cfg.met
+	if met == nil {
+		met = defaultMetrics()
+	}
+	logf := cfg.logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	if err := route.Validate(); err != nil {
+		return nil, err
+	}
+	if size < 0 {
+		end, err := src.Seek(0, io.SeekEnd)
+		if err != nil {
+			return nil, fmt.Errorf("resilience: measuring source: %w", err)
+		}
+		size = end
+	}
+
+	id := cfg.session
+	if id == (wire.SessionID{}) {
+		id = wire.NewSessionID()
+	}
+	seed := pol.JitterSeed
+	if seed == 0 {
+		seed = int64(binary.BigEndian.Uint64(id[:8]))
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Work on a private copy of the route: failover mutates Via.
+	cur := core.Route{Via: append([]string(nil), route.Via...), Target: route.Target}
+	res := &Result{Session: id, Route: cur, Bytes: size}
+	start := time.Now()
+	finish := func(outcome string) {
+		met.Transfers.With(outcome).Inc()
+		res.Route = cur
+		res.Duration = time.Since(start)
+	}
+
+	firstHopFails := 0
+	var lastErr error
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		res.Attempts = attempt
+		if attempt > 1 {
+			res.Retries++
+			met.Retries.Inc()
+			if err := backoff.Sleep(ctx, pol.Backoff.Delay(attempt-1, rng)); err != nil {
+				finish(OutcomeCanceled)
+				return res, err
+			}
+		}
+		err := attemptOnce(ctx, &cfg, cur, id, src, size)
+		if err == nil {
+			finish(OutcomeDelivered)
+			return res, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			finish(OutcomeCanceled)
+			return res, fmt.Errorf("resilience: session %s: %w", id, err)
+		}
+		if Permanent(err) {
+			finish(OutcomeRejected)
+			return res, fmt.Errorf("resilience: session %s: %w", id, err)
+		}
+		logf("resilience: session %s attempt %d/%d failed: %v", id, attempt, pol.MaxAttempts, err)
+
+		// A dead first hop is a failover candidate: after FailoverAfter
+		// consecutive dial failures against it, route around it.
+		var de *core.DialError
+		if errors.As(err, &de) && len(cur.Via) > 0 && de.Hop == cur.Via[0] && pol.FailoverAfter > 0 {
+			firstHopFails++
+			if firstHopFails >= pol.FailoverAfter {
+				dead := cur.Via[0]
+				cur.Via = cur.Via[1:]
+				firstHopFails = 0
+				res.Failovers++
+				met.Failovers.Inc()
+				logf("resilience: session %s failing over around dead depot %s (route now %v)",
+					id, dead, cur.Hops())
+			}
+		} else {
+			firstHopFails = 0
+		}
+	}
+	finish(OutcomeExhausted)
+	return res, fmt.Errorf("resilience: session %s: %w after %d attempts: %w", id, ErrExhausted, res.Attempts, lastErr)
+}
+
+// attemptOnce runs one complete session attempt: dial with resume, seek
+// to the target's confirmed offset, stream the remainder, and drain the
+// backward channel until the cascade unwinds (EOF), which is the signal
+// that the target-side sublink fully consumed the stream.
+func attemptOnce(ctx context.Context, cfg *config, route core.Route, id wire.SessionID, src io.ReadSeeker, size int64) error {
+	opts := []core.Option{
+		core.WithContentLength(size),
+		core.WithSession(id),
+		core.WithResume(),
+	}
+	if cfg.digest {
+		opts = append(opts, core.WithDigest())
+	}
+	if cfg.dial != nil {
+		opts = append(opts, core.WithDialer(cfg.dial))
+	}
+	if cfg.handshake > 0 {
+		opts = append(opts, core.WithHandshakeTimeout(cfg.handshake))
+	}
+	c, err := core.Dial(ctx, route, opts...)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if c.Offset() > size {
+		return fmt.Errorf("%w: %d > %d", errOffsetBeyondLength, c.Offset(), size)
+	}
+	// SendReader positions src itself when resuming (offset > 0); at
+	// offset 0 it streams from the current position, which after a failed
+	// attempt is wherever the dead sublink stopped — rewind explicitly.
+	if c.Offset() == 0 {
+		if _, err := src.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("rewind source: %w", err)
+		}
+	}
+	if err := c.SendReader(src); err != nil {
+		return fmt.Errorf("send: %w", err)
+	}
+	// Confirm: wait for the cascade to unwind. A depot dying after the
+	// last payload byte but before the target drained it surfaces here as
+	// an error, so the attempt is retried instead of falsely reported
+	// delivered.
+	if cfg.confirmTimeout > 0 {
+		c.SetDeadline(time.Now().Add(cfg.confirmTimeout))
+	}
+	if _, err := io.Copy(io.Discard, c); err != nil {
+		return fmt.Errorf("confirm drain: %w", err)
+	}
+	return nil
+}

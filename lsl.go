@@ -29,12 +29,15 @@ package lsl
 
 import (
 	"context"
+	"io"
 	"net"
 	"net/http"
 
+	"lsl/internal/backoff"
 	"lsl/internal/core"
 	"lsl/internal/depot"
 	"lsl/internal/metrics"
+	"lsl/internal/resilience"
 	"lsl/internal/wire"
 )
 
@@ -80,6 +83,10 @@ type DepotSessions = depot.Snapshot
 // renders Prometheus text exposition format (see Depot.Metrics).
 type MetricsRegistry = metrics.Registry
 
+// NewMetricsRegistry builds an empty registry (e.g. to host transfer
+// metrics via NewTransferMetrics next to your own instrumentation).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
 // Depot session outcome labels, as recorded in the recent-session ring
 // (Depot.Sessions) and on the per-outcome metrics. "canceled" marks
 // sessions cut short when Close's drain timeout (DepotConfig.DrainTimeout)
@@ -93,6 +100,7 @@ const (
 	DepotOutcomeStagedDeliver  = depot.OutcomeStagedDeliver
 	DepotOutcomeStagedAborted  = depot.OutcomeStagedAborted
 	DepotOutcomeStagedUpFailed = depot.OutcomeStagedUpFailed
+	DepotOutcomeDialFailed     = depot.OutcomeDialFailed
 )
 
 // Re-exported errors.
@@ -149,4 +157,72 @@ var (
 	WithDialer = core.WithDialer
 	// WithHandshakeTimeout bounds the session handshake.
 	WithHandshakeTimeout = core.WithHandshakeTimeout
+)
+
+// --- self-healing transfers (internal/resilience) ---
+
+// TransferResult reports how a resilient transfer was achieved: attempts,
+// retries, failovers, and the route that carried the final sublink.
+type TransferResult = resilience.Result
+
+// TransferPolicy tunes the retry/failover loop (zero value = defaults:
+// 8 attempts, 100ms..5s backoff, failover after 2 dead first-hop dials).
+type TransferPolicy = resilience.Policy
+
+// BackoffPolicy shapes retry delays: capped exponential with equal jitter
+// (used by TransferPolicy.Backoff and the depot's staged redelivery).
+type BackoffPolicy = backoff.Policy
+
+// TransferOption tunes one Transfer call.
+type TransferOption = resilience.Option
+
+// TransferMetrics is the engine's counter set (lsl_transfer_*); register
+// one on your own MetricsRegistry with NewTransferMetrics, or let
+// transfers default to TransferMetricsRegistry.
+type TransferMetrics = resilience.Metrics
+
+// ErrTransferExhausted wraps the last transient error once a transfer's
+// attempt budget is spent.
+var ErrTransferExhausted = resilience.ErrExhausted
+
+// Transfer delivers size bytes from src to route's target, healing
+// transient failures automatically: re-dial with resume, capped
+// exponential backoff with jitter, and failover around a dead first-hop
+// depot. A negative size is measured by seeking src to its end. See
+// internal/resilience for the full failure model.
+func Transfer(ctx context.Context, route Route, src io.ReadSeeker, size int64, opts ...TransferOption) (*TransferResult, error) {
+	return resilience.Transfer(ctx, route, src, size, opts...)
+}
+
+// TransferPermanent reports whether err can never be fixed by retrying
+// (rejection, digest mismatch, malformed request, canceled context).
+func TransferPermanent(err error) bool { return resilience.Permanent(err) }
+
+// NewTransferMetrics registers the lsl_transfer_* counter families on reg.
+func NewTransferMetrics(reg *MetricsRegistry) *TransferMetrics { return resilience.NewMetrics(reg) }
+
+// TransferMetricsRegistry returns the process-wide registry behind
+// transfers that did not supply their own metrics (render it with
+// WritePrometheus, like a depot's /metrics).
+func TransferMetricsRegistry() *MetricsRegistry { return resilience.DefaultRegistry() }
+
+// Transfer options, re-exported.
+var (
+	// WithTransferPolicy sets the retry/failover policy.
+	WithTransferPolicy = resilience.WithPolicy
+	// WithTransferDialer injects the transport dialer (tests, fault
+	// injection, emulation).
+	WithTransferDialer = resilience.WithDialer
+	// WithoutTransferDigest disables the end-to-end MD5 trailer.
+	WithoutTransferDigest = resilience.WithoutDigest
+	// WithTransferSession pins the session ID.
+	WithTransferSession = resilience.WithSession
+	// WithTransferMetrics directs the engine's counters at a custom set.
+	WithTransferMetrics = resilience.WithMetrics
+	// WithTransferLogf receives one line per recovery event.
+	WithTransferLogf = resilience.WithLogf
+	// WithTransferHandshakeTimeout bounds each attempt's handshake.
+	WithTransferHandshakeTimeout = resilience.WithHandshakeTimeout
+	// WithTransferConfirmTimeout bounds the post-payload confirm drain.
+	WithTransferConfirmTimeout = resilience.WithConfirmTimeout
 )

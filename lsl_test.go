@@ -3,6 +3,7 @@ package lsl_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"io"
 	"net"
 	"testing"
@@ -64,6 +65,90 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	if d.Stats().Accepted != 1 {
 		t.Fatal("depot did not carry the session")
+	}
+}
+
+// TestPublicTransferAPI drives the self-healing surface end to end: a
+// clean transfer through a depot, then one against a dead route that must
+// classify, retry, and exhaust — all via the re-exported names.
+func TestPublicTransferAPI(t *testing.T) {
+	ln, err := lsl.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := make(chan []byte, 1)
+	go func() {
+		for {
+			sc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer sc.Close()
+				data, err := io.ReadAll(sc)
+				if err == nil && sc.Verified() {
+					got <- data
+				}
+			}()
+		}
+	}()
+
+	dln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := lsl.NewDepot(lsl.DepotConfig{})
+	go d.Serve(dln)
+	defer d.Close()
+
+	reg := lsl.NewMetricsRegistry()
+	met := lsl.NewTransferMetrics(reg)
+	payload := bytes.Repeat([]byte("heal"), 25000)
+	res, err := lsl.Transfer(context.Background(),
+		lsl.Route{Via: []string{dln.Addr().String()}, Target: ln.Addr().String()},
+		bytes.NewReader(payload), int64(len(payload)),
+		lsl.WithTransferMetrics(met))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 1 || res.Retries != 0 {
+		t.Fatalf("clean path took %d attempts, %d retries", res.Attempts, res.Retries)
+	}
+	select {
+	case data := <-got:
+		if !bytes.Equal(data, payload) {
+			t.Fatal("payload mismatch")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("timeout")
+	}
+
+	// A dead world exhausts the budget with a classified error.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	_, err = lsl.Transfer(context.Background(),
+		lsl.Route{Target: deadAddr}, bytes.NewReader(payload), int64(len(payload)),
+		lsl.WithTransferMetrics(met),
+		lsl.WithTransferPolicy(lsl.TransferPolicy{
+			MaxAttempts: 2,
+			Backoff:     lsl.BackoffPolicy{Base: time.Millisecond, Max: 5 * time.Millisecond},
+		}))
+	if err == nil {
+		t.Fatal("transfer to a dead target succeeded")
+	}
+	if !errors.Is(err, lsl.ErrTransferExhausted) {
+		t.Fatalf("err = %v, want ErrTransferExhausted", err)
+	}
+	if lsl.TransferPermanent(err) {
+		t.Fatal("an exhausted transient error must not classify as permanent")
+	}
+	if met.Retries.Value() != 1 {
+		t.Fatalf("retries counter = %d, want 1", met.Retries.Value())
 	}
 }
 
