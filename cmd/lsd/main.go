@@ -10,6 +10,8 @@
 //	lsd -listen :5000 -stats 10s     # print counters periodically
 //	lsd -listen :5000 -admin :9090   # /metrics /healthz /sessions /debug/pprof
 //	lsd -listen :5000 -drain 10s     # bound shutdown: drain, then cancel
+//	lsd -listen :5000 -mux           # multiplex sessions over persistent trunks
+//	lsd -listen :5000 -sockbuf 4194304  # 4 MiB socket buffers on every sublink
 package main
 
 import (
@@ -38,6 +40,10 @@ func main() {
 		dialTO      = flag.Duration("dial-timeout", 0, "next-hop connection establishment timeout (0 = default 10s)")
 		stageRetry  = flag.Duration("stage-retry", 0, "staged redelivery backoff base (0 = default 2s)")
 		stageRetMax = flag.Duration("stage-retry-max", 0, "staged redelivery backoff cap (0 = default 30s)")
+		muxOn       = flag.Bool("mux", false, "multiplex sessions over persistent trunks: pool links to next hops and accept trunk links from upstream peers (non-mux peers still interoperate)")
+		linkIdle    = flag.Duration("link-idle", 0, "close a next-hop trunk idle this long (0 = default 60s, <0 = keep forever)")
+		linkMax     = flag.Int("link-max-streams", 0, "sessions per trunk before opening another link to the same next hop (0 = default 64)")
+		sockBuf     = flag.Int("sockbuf", 0, "SO_SNDBUF/SO_RCVBUF for every accepted and dialed connection in bytes (0 = kernel default; TCP_NODELAY is always set)")
 		verbose     = flag.Bool("v", false, "log each session")
 	)
 	flag.Parse()
@@ -51,6 +57,11 @@ func main() {
 		DialTimeout:        *dialTO,
 		StageRetryInterval: *stageRetry,
 		StageRetryMax:      *stageRetMax,
+		Mux:                *muxOn,
+		LinkIdleTimeout:    *linkIdle,
+		LinkMaxStreams:     *linkMax,
+		SockSndBuf:         *sockBuf,
+		SockRcvBuf:         *sockBuf,
 	}
 	if *verbose {
 		cfg.Logf = logger.Printf

@@ -31,6 +31,8 @@ import (
 	"net"
 	"time"
 
+	"lsl/internal/mux"
+	"lsl/internal/sockopt"
 	"lsl/internal/wire"
 	"lsl/internal/xfer"
 )
@@ -108,6 +110,18 @@ type Options struct {
 	HandshakeTimeout time.Duration
 	// Dial overrides the transport dialer.
 	Dial Dialer
+	// Pool, when set, carries the session's first sublink as a stream on
+	// a warm trunk to the first hop (see internal/mux): no TCP handshake
+	// and no cold congestion window when a trunk is already open. Peers
+	// that do not speak the trunk protocol transparently fall back to a
+	// per-session connection.
+	Pool *mux.Pool
+	// SockSndBuf/SockRcvBuf override SO_SNDBUF/SO_RCVBUF on the first
+	// sublink when it is a direct TCP connection (the paper's §V
+	// hand-tuning); zero keeps kernel defaults. Trunk connections take
+	// their sizes from the pool's own config.
+	SockSndBuf int
+	SockRcvBuf int
 }
 
 // Option mutates Options.
@@ -140,6 +154,18 @@ func WithHandshakeTimeout(d time.Duration) Option {
 // WithDialer injects a transport dialer (tests, emulation).
 func WithDialer(d Dialer) Option { return func(o *Options) { o.Dial = d } }
 
+// WithMux rides the session over p's warm trunk to the first hop instead
+// of a fresh per-session TCP connection (falling back transparently when
+// the hop does not speak the trunk protocol).
+func WithMux(p *mux.Pool) Option { return func(o *Options) { o.Pool = p } }
+
+// WithSocketBuffers overrides SO_SNDBUF/SO_RCVBUF on the session's first
+// sublink (zero keeps the kernel default for that direction). TCP_NODELAY
+// is always set on direct sublinks regardless of this option.
+func WithSocketBuffers(snd, rcv int) Option {
+	return func(o *Options) { o.SockSndBuf, o.SockRcvBuf = snd, rcv }
+}
+
 func buildOptions(opts []Option) Options {
 	o := Options{ContentLength: -1, HandshakeTimeout: 15 * time.Second}
 	for _, fn := range opts {
@@ -161,6 +187,9 @@ type Conn struct {
 	written     int64
 	startOffset int64
 	wclosed     bool
+	// pending is the encoded open header staged for coalescing with the
+	// first payload write (eager sessions only; nil once flushed).
+	pending []byte
 }
 
 // Dial opens a session along route. With Options.Eager unset it blocks
@@ -187,7 +216,19 @@ func Dial(ctx context.Context, route Route, opts ...Option) (*Conn, error) {
 		dial = d.DialContext
 	}
 	hops := route.Hops()
-	nc, err := dial(ctx, "tcp", hops[0])
+	var nc net.Conn
+	var err error
+	if o.Pool != nil {
+		// Warm trunk when available: no TCP handshake, no cold congestion
+		// window. The pool falls back to a classic connection for
+		// non-trunk peers on its own.
+		nc, err = o.Pool.DialContext(ctx, "tcp", hops[0])
+	} else {
+		nc, err = dial(ctx, "tcp", hops[0])
+		if err == nil {
+			sockopt.Tune(nc, o.SockSndBuf, o.SockRcvBuf)
+		}
+	}
 	if err != nil {
 		return nil, &DialError{Hop: hops[0], Err: err}
 	}
@@ -229,13 +270,19 @@ func Dial(ctx context.Context, route Route, opts ...Option) (*Conn, error) {
 		deadline = dl
 	}
 	nc.SetDeadline(deadline)
-	if _, err := nc.Write(enc); err != nil {
-		nc.Close()
-		return nil, fmt.Errorf("lsl: send header: %w", err)
-	}
 	c := &Conn{nc: nc, id: id, opts: o}
 	if o.Digest {
 		c.hash = md5.New()
+	}
+	if o.Eager {
+		// Stage the header instead of writing it now: the first payload
+		// Write coalesces it into one segment (net.Buffers), so an eager
+		// session open is one packet, not a tiny header packet followed
+		// by a delayed-ACK stall before the payload.
+		c.pending = enc
+	} else if _, err := nc.Write(enc); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("lsl: send header: %w", err)
 	}
 	if !o.Eager {
 		acc, err := wire.ReadAcceptFrame(nc)
@@ -269,12 +316,21 @@ func (c *Conn) Offset() int64 { return c.startOffset }
 // target had already confirmed.
 func (c *Conn) Written() int64 { return c.written }
 
-// Write sends payload bytes toward the target.
+// Write sends payload bytes toward the target. The first write of an
+// eager session carries the staged open header in the same segment
+// (writev via net.Buffers), so a session open plus its first payload
+// bytes cost one packet on the wire.
 func (c *Conn) Write(p []byte) (int, error) {
 	if c.wclosed {
 		return 0, ErrClosedWrite
 	}
-	n, err := c.nc.Write(p)
+	var n int
+	var err error
+	if c.pending != nil {
+		n, err = c.writeCoalesced(p)
+	} else {
+		n, err = c.nc.Write(p)
+	}
 	if n > 0 {
 		if c.hash != nil {
 			c.hash.Write(p[:n])
@@ -284,8 +340,41 @@ func (c *Conn) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// writeCoalesced sends the staged open header and p as one gathered
+// write, returning the count of payload bytes (header excluded).
+func (c *Conn) writeCoalesced(p []byte) (int, error) {
+	hdrLen := len(c.pending)
+	bufs := net.Buffers{c.pending, p}
+	total, err := bufs.WriteTo(c.nc)
+	c.pending = nil // one shot: a partial write means a dead transport
+	n := int(total) - hdrLen
+	if n < 0 {
+		n = 0
+	}
+	return n, err
+}
+
+// flushPending writes the staged header on its own (an eager session
+// that reads or half-closes before its first payload write).
+func (c *Conn) flushPending() error {
+	if c.pending == nil {
+		return nil
+	}
+	enc := c.pending
+	c.pending = nil
+	if _, err := c.nc.Write(enc); err != nil {
+		return fmt.Errorf("lsl: send header: %w", err)
+	}
+	return nil
+}
+
 // Read receives backward-channel bytes from the target.
-func (c *Conn) Read(p []byte) (int, error) { return c.nc.Read(p) }
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.flushPending(); err != nil {
+		return 0, err
+	}
+	return c.nc.Read(p)
+}
 
 // CloseWrite finishes the forward stream: it appends the MD5 trailer when
 // digesting and half-closes the transport so EOF propagates through the
@@ -295,6 +384,9 @@ func (c *Conn) CloseWrite() error {
 		return nil
 	}
 	c.wclosed = true
+	if err := c.flushPending(); err != nil {
+		return err
+	}
 	if c.hash != nil {
 		if _, err := c.nc.Write(c.hash.Sum(nil)); err != nil {
 			return fmt.Errorf("lsl: send digest trailer: %w", err)

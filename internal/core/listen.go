@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"lsl/internal/sockopt"
 	"lsl/internal/wire"
 )
 
@@ -45,6 +46,10 @@ type Listener struct {
 	// resumable sessions. Non-positive disables the sweep (completed
 	// sessions are still deleted eagerly).
 	SessionTTL time.Duration
+	// SockSndBuf/SockRcvBuf override SO_SNDBUF/SO_RCVBUF on accepted
+	// sublinks (zero keeps kernel defaults); TCP_NODELAY is always set.
+	SockSndBuf int
+	SockRcvBuf int
 }
 
 // Listen starts an LSL target listener on addr.
@@ -81,6 +86,7 @@ func (l *Listener) Accept() (*ServerConn, error) {
 		if err != nil {
 			return nil, err
 		}
+		sockopt.Tune(nc, l.SockSndBuf, l.SockRcvBuf)
 		sc, err := l.handshake(nc)
 		if err != nil {
 			nc.Close()

@@ -39,6 +39,8 @@ import (
 
 	"lsl/internal/core"
 	"lsl/internal/metrics"
+	"lsl/internal/mux"
+	"lsl/internal/sockopt"
 	"lsl/internal/wire"
 	"lsl/internal/xfer"
 )
@@ -86,6 +88,26 @@ type Config struct {
 	// StageDeadline bounds how long staged payloads are retried before
 	// being discarded.
 	StageDeadline time.Duration
+	// Mux enables persistent inter-hop trunks: the depot accepts
+	// multiplexed upstream links alongside classic connections
+	// (dispatching on the first bytes — "LSLM" vs "LSL1" — so mixed
+	// fleets interoperate) and keeps warm trunks to each distinct next
+	// hop, skipping the per-session TCP handshake and cold congestion
+	// window. Non-mux next hops transparently fall back to
+	// one-connection-per-session.
+	Mux bool
+	// LinkIdleTimeout closes a next-hop trunk that has carried no
+	// sessions for this long (default 60s; negative keeps trunks open
+	// forever). Mux only.
+	LinkIdleTimeout time.Duration
+	// LinkMaxStreams opens a second trunk to the same next hop once one
+	// carries this many concurrent sessions (default 64). Mux only.
+	LinkMaxStreams int
+	// SockSndBuf/SockRcvBuf override SO_SNDBUF/SO_RCVBUF on every
+	// accepted and dialed transport connection (zero keeps kernel
+	// defaults); TCP_NODELAY is always set on TCP sublinks.
+	SockSndBuf int
+	SockRcvBuf int
 }
 
 // DefaultDrainTimeout is how long Close waits for in-flight sessions
@@ -213,6 +235,18 @@ type Depot struct {
 	stagedAborted   *metrics.Counter
 	stagedBytes     *metrics.Counter
 
+	// Trunk state (cfg.Mux): warm links to next hops, accept-side link
+	// accounting, and the drain signal that retires accept-side links on
+	// Close once their sessions finish.
+	nextHops    *mux.Pool
+	linkOpened  *metrics.CounterVec
+	linkReused  *metrics.CounterVec
+	linkClosed  *metrics.CounterVec
+	muxStreams  *metrics.Gauge
+	muxHigh     *metrics.Gauge
+	poolMetrics *mux.PoolMetrics
+	drainCh     chan struct{}
+
 	mu     sync.Mutex
 	ln     net.Listener
 	closed bool
@@ -269,7 +303,50 @@ func New(cfg Config) *Depot {
 		"Staged sessions abandoned past the stage deadline.")
 	d.stagedBytes = reg.Counter("lsd_staged_bytes_total",
 		"Bytes taken into staged custody.")
+	d.drainCh = make(chan struct{})
+	if cfg.Mux {
+		d.linkOpened = reg.CounterVec("lsl_link_opened_total",
+			"Trunks established (hello exchange completed), by side.", "side")
+		d.linkReused = reg.CounterVec("lsl_link_reused_total",
+			"Sessions carried on an already-open trunk instead of a fresh TCP connection, by side.", "side")
+		d.linkClosed = reg.CounterVec("lsl_link_closed_total",
+			"Trunks torn down (idle timeout, error, shutdown), by side.", "side")
+		d.muxStreams = reg.Gauge("lsl_mux_streams",
+			"Multiplexed session streams live right now (both sides).")
+		d.muxHigh = reg.Gauge("lsl_mux_stream_high_water",
+			"Most concurrent streams observed on any one trunk.")
+		d.poolMetrics = &mux.PoolMetrics{
+			LinkOpened:      d.linkOpened.With("dial"),
+			LinkReused:      d.linkReused.With("dial"),
+			LinkClosed:      d.linkClosed.With("dial"),
+			Streams:         d.muxStreams,
+			StreamHighWater: d.muxHigh,
+		}
+		d.nextHops = mux.NewPool(mux.PoolConfig{
+			Dial:              mux.Dialer(cfg.Dial),
+			IdleTimeout:       cfg.LinkIdleTimeout,
+			MaxStreamsPerLink: cfg.LinkMaxStreams,
+			SockSndBuf:        cfg.SockSndBuf,
+			SockRcvBuf:        cfg.SockRcvBuf,
+			Metrics:           d.poolMetrics,
+			Logf:              cfg.Logf,
+		})
+	}
 	return d
+}
+
+// dialNext opens the next-hop transport for one session: a stream on a
+// warm trunk when mux is on (classic fallback for non-mux hops inside
+// the pool), a fresh tuned connection otherwise.
+func (d *Depot) dialNext(ctx context.Context, addr string) (net.Conn, error) {
+	if d.nextHops != nil {
+		return d.nextHops.DialContext(ctx, "tcp", addr)
+	}
+	nc, err := d.cfg.Dial(ctx, "tcp", addr)
+	if err == nil {
+		sockopt.Tune(nc, d.cfg.SockSndBuf, d.cfg.SockRcvBuf)
+	}
+	return nc, err
 }
 
 // Stats snapshots the counters.
@@ -340,10 +417,11 @@ func (d *Depot) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		sockopt.Tune(nc, d.cfg.SockSndBuf, d.cfg.SockRcvBuf)
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
-			d.handle(d.root, nc)
+			d.handleConn(d.root, nc)
 		}()
 	}
 }
@@ -378,6 +456,13 @@ func (d *Depot) Close() error {
 	if ln != nil {
 		err = ln.Close()
 	}
+	// Start draining trunks on both sides: accept-side links refuse new
+	// streams and close once their sessions finish; next-hop links
+	// likewise retire as their relays complete.
+	close(d.drainCh)
+	if d.nextHops != nil {
+		d.nextHops.Drain()
+	}
 	done := make(chan struct{})
 	go func() {
 		d.wg.Wait()
@@ -395,6 +480,9 @@ func (d *Depot) Close() error {
 	}
 	<-done
 	d.cancel() // release the root context even on a clean drain
+	if d.nextHops != nil {
+		d.nextHops.Close()
+	}
 	return err
 }
 
@@ -448,10 +536,112 @@ type session struct {
 	canceled atomic.Bool
 }
 
+// handleConn dispatches one inbound transport connection: with mux
+// enabled it probes the first four bytes — "LSLM" marks a trunk carrying
+// many sessions, anything else (classic "LSL1" headers included) is
+// handled as one per-session connection — so mux and non-mux peers share
+// one listening port.
+func (d *Depot) handleConn(ctx context.Context, nc net.Conn) {
+	if !d.cfg.Mux {
+		d.handle(ctx, nc)
+		return
+	}
+	nc.SetReadDeadline(time.Now().Add(d.cfg.HandshakeTimeout))
+	var magic [4]byte
+	if _, err := io.ReadFull(nc, magic[:]); err != nil {
+		d.logf("depot: probe read from %v: %v", nc.RemoteAddr(), err)
+		nc.Close()
+		return
+	}
+	if wire.IsMuxMagic(magic[:]) {
+		d.serveLink(ctx, newPrefixConn(nc, magic[:]))
+		return
+	}
+	nc.SetReadDeadline(time.Time{})
+	d.handle(ctx, newPrefixConn(nc, magic[:]))
+}
+
+// serveLink runs one accept-side trunk: every stream the peer opens is
+// handled as an ordinary session (same admission, registry, and metrics
+// as a per-connection session). The link drains on Close — new streams
+// refused, live sessions run to completion — and is torn down outright
+// when the root context cancels.
+func (d *Depot) serveLink(ctx context.Context, nc net.Conn) {
+	link, err := mux.Server(nc, mux.LinkConfig{Logf: d.cfg.Logf})
+	if err != nil {
+		d.logf("depot: trunk handshake from %v: %v", nc.RemoteAddr(), err)
+		nc.Close()
+		return
+	}
+	d.linkOpened.With("accept").Inc()
+	d.logf("depot: trunk established from %v", nc.RemoteAddr())
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			link.Close()
+		case <-d.drainCh:
+			link.Drain()
+		case <-stop:
+		}
+	}()
+	first := true
+	for {
+		st, err := link.AcceptStream()
+		if err != nil {
+			d.linkClosed.With("accept").Inc()
+			d.logf("depot: trunk from %v closed: %v", nc.RemoteAddr(), err)
+			return
+		}
+		if first {
+			first = false
+		} else {
+			d.linkReused.With("accept").Inc()
+		}
+		d.muxStreams.Inc()
+		d.muxHigh.SetMax(int64(link.HighWater()))
+		d.wg.Add(1)
+		go func(st *mux.Stream) {
+			defer d.wg.Done()
+			defer d.muxStreams.Dec()
+			d.handle(ctx, st)
+		}(st)
+	}
+}
+
 // handle runs one inbound transport connection as a session.
 func (d *Depot) handle(ctx context.Context, up net.Conn) {
 	s := &session{d: d, up: up, peer: remoteAddr(up), start: time.Now(), state: stateHandshaking}
 	s.run(ctx)
+}
+
+// prefixConn replays probed bytes ahead of the underlying conn's stream.
+type prefixConn struct {
+	net.Conn
+	prefix []byte
+}
+
+func newPrefixConn(nc net.Conn, prefix []byte) net.Conn {
+	return &prefixConn{Conn: nc, prefix: append([]byte(nil), prefix...)}
+}
+
+func (p *prefixConn) Read(b []byte) (int, error) {
+	if len(p.prefix) > 0 {
+		n := copy(b, p.prefix)
+		p.prefix = p.prefix[n:]
+		return n, nil
+	}
+	return p.Conn.Read(b)
+}
+
+// CloseWrite forwards half-close so EOF propagation still works through
+// the wrapper.
+func (p *prefixConn) CloseWrite() error {
+	if cw, ok := p.Conn.(interface{ CloseWrite() error }); ok {
+		return cw.CloseWrite()
+	}
+	return nil
 }
 
 func (s *session) run(ctx context.Context) {
@@ -512,7 +702,7 @@ func (s *session) dial(ctx context.Context) bool {
 	s.state = stateDialing
 	next, _ := s.hdr.NextHop()
 	dctx, cancel := context.WithTimeout(ctx, d.cfg.DialTimeout)
-	down, err := d.cfg.Dial(dctx, "tcp", next)
+	down, err := d.dialNext(dctx, next)
 	cancel()
 	if err != nil {
 		d.nextHopDialFail.With(next).Inc()
@@ -527,7 +717,14 @@ func (s *session) dial(ctx context.Context) bool {
 		s.fail(d.rejectedProto, OutcomeRejectedProto, wire.CodeRejectProto)
 		return false
 	}
-	if _, err := down.Write(enc); err != nil {
+	// Forward the header under the control write deadline: a next hop
+	// that accepted the connection but stalled its receive window would
+	// otherwise wedge this handler past DialTimeout.
+	down.SetWriteDeadline(time.Now().Add(d.cfg.WriteTimeout))
+	_, err = down.Write(enc)
+	down.SetWriteDeadline(time.Time{})
+	if err != nil {
+		d.logf("depot: session %s header forward to %s failed: %v", s.hdr.Session, next, err)
 		s.fail(d.rejectedRoute, OutcomeRejectedRoute, wire.CodeRejectRoute)
 		return false
 	}

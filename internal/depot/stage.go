@@ -203,7 +203,7 @@ func (d *Depot) deliverStaged(ctx context.Context, hdr *wire.OpenHeader, payload
 
 func (d *Depot) attemptDelivery(ctx context.Context, next string, hdr, payload []byte, id wire.SessionID) error {
 	dctx, cancel := context.WithTimeout(ctx, d.cfg.DialTimeout)
-	down, err := d.cfg.Dial(dctx, "tcp", next)
+	down, err := d.dialNext(dctx, next)
 	cancel()
 	if err != nil {
 		d.nextHopDialFail.With(next).Inc()

@@ -1,0 +1,360 @@
+package mux
+
+import (
+	"bytes"
+	"crypto/md5"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// linkPair establishes a client/server link pair over loopback TCP.
+func linkPair(t *testing.T, cfg LinkConfig) (*Link, *Link) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srvCh := make(chan *Link, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		l, err := Server(nc, cfg)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		srvCh <- l
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	client, err := Client(nc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case srv := <-srvCh:
+		t.Cleanup(func() { client.Close(); srv.Close() })
+		return client, srv
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server link never established")
+	}
+	return nil, nil
+}
+
+func acceptOne(t *testing.T, l *Link) *Stream {
+	t.Helper()
+	ch := make(chan *Stream, 1)
+	go func() {
+		s, err := l.AcceptStream()
+		if err != nil {
+			return
+		}
+		ch <- s
+	}()
+	select {
+	case s := <-ch:
+		return s
+	case <-time.After(5 * time.Second):
+		t.Fatal("AcceptStream timed out")
+		return nil
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	client, srv := linkPair(t, LinkConfig{})
+	cs, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Write([]byte("hello depot")); err != nil {
+		t.Fatal(err)
+	}
+	ss := acceptOne(t, srv)
+	buf := make([]byte, 64)
+	n, err := ss.Read(buf)
+	if err != nil || string(buf[:n]) != "hello depot" {
+		t.Fatalf("server read %q, %v", buf[:n], err)
+	}
+	// Backward direction.
+	if _, err := ss.Write([]byte("ack")); err != nil {
+		t.Fatal(err)
+	}
+	n, err = cs.Read(buf)
+	if err != nil || string(buf[:n]) != "ack" {
+		t.Fatalf("client read %q, %v", buf[:n], err)
+	}
+	// Half-close propagates EOF after buffered data drains.
+	if err := cs.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.Read(buf); err != io.EOF {
+		t.Fatalf("server expected EOF, got %v", err)
+	}
+	if _, err := cs.Write([]byte("x")); !errors.Is(err, ErrWriteClosed) {
+		t.Fatalf("write after CloseWrite: %v", err)
+	}
+	ss.CloseWrite()
+	if _, err := cs.Read(buf); err != io.EOF {
+		t.Fatalf("client expected EOF, got %v", err)
+	}
+	cs.Close()
+	ss.Close()
+	if n := client.NumStreams(); n != 0 {
+		t.Fatalf("client link still has %d streams", n)
+	}
+}
+
+// TestFlowControlIntegrity pushes far more data than the stream window
+// through a deliberately slow reader: the credit loop must throttle the
+// writer without corrupting or deadlocking, byte-exact end to end.
+func TestFlowControlIntegrity(t *testing.T) {
+	client, srv := linkPair(t, LinkConfig{Window: 8 << 10})
+	cs, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1<<20)
+	rand.Read(payload)
+	want := md5.Sum(payload)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got [md5.Size]byte
+	var readErr error
+	go func() {
+		defer wg.Done()
+		ss := acceptOne(t, srv)
+		h := md5.New()
+		buf := make([]byte, 1234) // odd size to shear chunk boundaries
+		for {
+			n, err := ss.Read(buf)
+			h.Write(buf[:n])
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				readErr = err
+				return
+			}
+		}
+		copy(got[:], h.Sum(nil))
+		ss.Close()
+	}()
+	if _, err := cs.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if got != want {
+		t.Fatal("payload corrupted across flow-controlled stream")
+	}
+}
+
+// TestConcurrentStreams multiplexes many echoing sessions over one trunk.
+func TestConcurrentStreams(t *testing.T) {
+	client, srv := linkPair(t, LinkConfig{Window: 16 << 10})
+	const streams = 20
+	go func() {
+		for {
+			s, err := srv.AcceptStream()
+			if err != nil {
+				return
+			}
+			go func(s *Stream) {
+				defer s.Close()
+				io.Copy(s, s)
+				s.CloseWrite()
+			}(s)
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cs, err := client.OpenStream()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cs.Close()
+			msg := make([]byte, 50<<10)
+			rand.Read(msg)
+			go func() {
+				cs.Write(msg)
+				cs.CloseWrite()
+			}()
+			echo, err := io.ReadAll(cs)
+			if err != nil {
+				errs <- fmt.Errorf("stream %d: %w", i, err)
+				return
+			}
+			if !bytes.Equal(echo, msg) {
+				errs <- fmt.Errorf("stream %d corrupted", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if hw := client.HighWater(); hw < 2 {
+		t.Errorf("expected concurrent streams on one link, high water %d", hw)
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	client, _ := linkPair(t, LinkConfig{})
+	cs, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err = cs.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("expected deadline error, got %v", err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("deadline fired far too late")
+	}
+	// Clearing the deadline makes the stream usable again.
+	cs.SetReadDeadline(time.Time{})
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("deadline error is not a net timeout: %v", err)
+	}
+}
+
+// TestWriteDeadlineOnCreditStall: a reader that never drains leaves the
+// writer blocked on credit; the write deadline must unblock it.
+func TestWriteDeadlineOnCreditStall(t *testing.T) {
+	client, srv := linkPair(t, LinkConfig{Window: 4 << 10})
+	cs, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Write(make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_ = acceptOne(t, srv) // accepted but never read: no credit comes back
+	cs.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+	_, err = cs.Write(make([]byte, 64<<10))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("expected deadline error, got %v", err)
+	}
+}
+
+func TestLinkCloseUnblocksStreams(t *testing.T) {
+	client, srv := linkPair(t, LinkConfig{})
+	cs, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Write([]byte("x"))
+	_ = acceptOne(t, srv)
+	done := make(chan error, 1)
+	go func() {
+		_, err := cs.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	srv.Close() // trunk dies under the session
+	select {
+	case err := <-done:
+		if err == nil || err == io.EOF {
+			t.Fatalf("expected link failure error, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read never unblocked after link close")
+	}
+}
+
+func TestResetAbortsPeer(t *testing.T) {
+	client, srv := linkPair(t, LinkConfig{})
+	cs, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Write([]byte("x"))
+	ss := acceptOne(t, srv)
+	buf := make([]byte, 1)
+	if _, err := ss.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	cs.Close() // mid-stream close → RESET
+	if _, err := ss.Read(buf); !errors.Is(err, ErrStreamReset) {
+		t.Fatalf("expected stream reset, got %v", err)
+	}
+}
+
+func TestDrainClosesIdleLink(t *testing.T) {
+	client, srv := linkPair(t, LinkConfig{})
+	srv.Drain()
+	select {
+	case <-srv.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle drain never closed the link")
+	}
+	// The client side observes the close too.
+	select {
+	case <-client.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("client link never noticed the close")
+	}
+	if _, err := client.OpenStream(); err == nil {
+		t.Fatal("OpenStream succeeded on dead link")
+	}
+}
+
+func TestDrainWaitsForLiveStream(t *testing.T) {
+	client, srv := linkPair(t, LinkConfig{})
+	cs, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Write([]byte("hello"))
+	ss := acceptOne(t, srv)
+	srv.Drain()
+	select {
+	case <-srv.Done():
+		t.Fatal("drain closed the link under a live stream")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// The live stream still works.
+	buf := make([]byte, 16)
+	if n, err := ss.Read(buf); err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("read on draining link: %q, %v", buf[:n], err)
+	}
+	ss.Close()
+	cs.Close()
+	select {
+	case <-srv.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("drained link never closed after last stream finished")
+	}
+}

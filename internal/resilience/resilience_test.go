@@ -18,6 +18,7 @@ import (
 	"lsl/internal/depot"
 	"lsl/internal/faultnet"
 	"lsl/internal/metrics"
+	"lsl/internal/mux"
 	"lsl/internal/resilience"
 )
 
@@ -362,5 +363,48 @@ func TestPermanentClassification(t *testing.T) {
 		if got := resilience.Permanent(c.err); got != c.want {
 			t.Errorf("Permanent(%v)=%v, want %v", c.err, got, c.want)
 		}
+	}
+}
+
+// The persistent-trunk acceptance case: the session rides a multiplexed
+// stream on a pooled TCP link, and that link is killed at an exact byte
+// count mid-transfer. The pool detects the dead trunk, the engine
+// re-dials with resume (which opens a replacement trunk), and the
+// payload arrives byte-exact with the end-to-end digest verified.
+func TestTransferHealsKilledTrunk(t *testing.T) {
+	vt := newVerifyingTarget(t)
+	dep, _ := startDepot(t, depot.Config{Mux: true})
+	payload := randBytes(2<<20, 9)
+
+	fn := faultnet.New(nil)
+	fn.Script(dep, faultnet.Step{ResetAfterBytes: 600_000})
+
+	reg := metrics.NewRegistry()
+	pm := &mux.PoolMetrics{
+		LinkOpened: reg.Counter("lsl_link_opened_total", "Trunks established."),
+		LinkClosed: reg.Counter("lsl_link_closed_total", "Trunks torn down."),
+	}
+	pool := mux.NewPool(mux.PoolConfig{Dial: fn.DialContext, Metrics: pm, Logf: t.Logf})
+	defer pool.Close()
+
+	res, err := resilience.Transfer(context.Background(),
+		core.Route{Via: []string{dep}, Target: vt.addr()},
+		bytes.NewReader(payload), int64(len(payload)),
+		resilience.WithPolicy(fastPolicy()),
+		resilience.WithDialer(pool.DialContext),
+		resilience.WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt.wait(t, payload)
+	if res.Attempts != 2 || res.Retries != 1 {
+		t.Fatalf("trunk kill should cost exactly one retry: %+v", res)
+	}
+	if fn.Resets() != 1 {
+		t.Fatalf("injected resets = %d, want 1", fn.Resets())
+	}
+	// The healed attempt rode a fresh trunk: original plus replacement.
+	if got := pm.LinkOpened.Value(); got != 2 {
+		t.Fatalf("lsl_link_opened_total = %d, want 2", got)
 	}
 }

@@ -1,0 +1,30 @@
+// Package sockopt applies the paper's §V socket tuning to LSL transport
+// connections: TCP_NODELAY on every sublink (session opens are
+// latency-bound small writes; Nagle only adds delayed-ACK stalls), and
+// optional SO_SNDBUF/SO_RCVBUF overrides, which is what the paper
+// hand-tuned per hop to claw back throughput on high
+// bandwidth-delay-product paths.
+//
+// Tune is safe on any net.Conn: non-TCP transports (test pipes, the WAN
+// emulator, mux streams) are left untouched.
+package sockopt
+
+import "net"
+
+// Tune applies TCP-level socket options to c when it is a *net.TCPConn:
+// TCP_NODELAY always, and the send/receive buffer sizes when positive.
+// Errors are ignored — tuning is advisory; the kernel may clamp or refuse
+// sizes — and non-TCP conns are a no-op.
+func Tune(c net.Conn, sndBuf, rcvBuf int) {
+	tc, ok := c.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	tc.SetNoDelay(true)
+	if sndBuf > 0 {
+		tc.SetWriteBuffer(sndBuf)
+	}
+	if rcvBuf > 0 {
+		tc.SetReadBuffer(rcvBuf)
+	}
+}

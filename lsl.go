@@ -37,6 +37,7 @@ import (
 	"lsl/internal/core"
 	"lsl/internal/depot"
 	"lsl/internal/metrics"
+	"lsl/internal/mux"
 	"lsl/internal/resilience"
 	"lsl/internal/wire"
 )
@@ -157,7 +158,35 @@ var (
 	WithDialer = core.WithDialer
 	// WithHandshakeTimeout bounds the session handshake.
 	WithHandshakeTimeout = core.WithHandshakeTimeout
+	// WithMux dials the first hop through a LinkPool: the session rides a
+	// multiplexed stream on a warm persistent trunk when the peer supports
+	// it, and a classic per-session connection otherwise.
+	WithMux = core.WithMux
+	// WithSocketBuffers overrides SO_SNDBUF/SO_RCVBUF on the session's
+	// first sublink (zero keeps the kernel default; TCP_NODELAY is always
+	// set).
+	WithSocketBuffers = core.WithSocketBuffers
 )
+
+// --- persistent trunks (internal/mux) ---
+
+// LinkPool keeps warm multiplexed trunks per destination. Its DialContext
+// is a drop-in Dialer: sessions to trunk-capable peers share pooled TCP
+// links (no per-session connect), everything else falls back to classic
+// dialing transparently. Use one pool per process and pass it to Dial
+// with WithMux.
+type LinkPool = mux.Pool
+
+// LinkPoolConfig tunes a LinkPool: per-stream window, streams per link,
+// idle timeout, probe/negative-cache behavior, socket buffers.
+type LinkPoolConfig = mux.PoolConfig
+
+// LinkPoolMetrics observes a pool's trunks (lsl_link_* counter family
+// plus stream gauges); any field may be nil.
+type LinkPoolMetrics = mux.PoolMetrics
+
+// NewLinkPool builds a trunk pool (see LinkPool).
+func NewLinkPool(cfg LinkPoolConfig) *LinkPool { return mux.NewPool(cfg) }
 
 // --- self-healing transfers (internal/resilience) ---
 
