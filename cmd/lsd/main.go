@@ -12,6 +12,9 @@
 //	lsd -listen :5000 -drain 10s     # bound shutdown: drain, then cancel
 //	lsd -listen :5000 -mux           # multiplex sessions over persistent trunks
 //	lsd -listen :5000 -sockbuf 4194304  # 4 MiB socket buffers on every sublink
+//	lsd -listen :5000 -graph overlay.txt -self denver -admin :9090
+//	                                 # feed relay measurements into the live
+//	                                 # logistics planner; forecasts at /plan
 package main
 
 import (
@@ -44,11 +47,29 @@ func main() {
 		linkIdle    = flag.Duration("link-idle", 0, "close a next-hop trunk idle this long (0 = default 60s, <0 = keep forever)")
 		linkMax     = flag.Int("link-max-streams", 0, "sessions per trunk before opening another link to the same next hop (0 = default 64)")
 		sockBuf     = flag.Int("sockbuf", 0, "SO_SNDBUF/SO_RCVBUF for every accepted and dialed connection in bytes (0 = kernel default; TCP_NODELAY is always set)")
+		graphF      = flag.String("graph", "", "overlay graph file (lslplan format): run a live logistics planner fed by this depot's relay measurements")
+		selfNode    = flag.String("self", "", "this depot's node name in the -graph overlay")
 		verbose     = flag.Bool("v", false, "log each session")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "lsd ", log.LstdFlags)
+
+	var planner *lsl.Planner
+	if *graphF != "" {
+		if *selfNode == "" {
+			logger.Fatal("-graph needs -self (this depot's node name)")
+		}
+		f, err := os.Open(*graphF)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		planner, err = lsl.PlannerFromOverlay(f, lsl.NodeID(*selfNode))
+		f.Close()
+		if err != nil {
+			logger.Fatalf("building planner: %v", err)
+		}
+	}
 	cfg := lsl.DepotConfig{
 		BufferSize:         *buffer,
 		MaxSessions:        *maxSessions,
@@ -66,7 +87,16 @@ func main() {
 	if *verbose {
 		cfg.Logf = logger.Printf
 	}
+	if planner != nil {
+		cfg.OnSessionEnd = planner.DepotHook()
+		cfg.PlanView = planner.PlanView()
+	}
 	d := lsl.NewDepot(cfg)
+	if planner != nil {
+		// Render lsl_logistics_* next to the depot's own families on
+		// /metrics.
+		planner.SetMetrics(lsl.NewPlannerMetrics(d.Metrics()))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -93,7 +123,7 @@ func main() {
 	if *admin != "" {
 		adminSrv = &http.Server{Addr: *admin, Handler: lsl.DepotAdminHandler(d)}
 		go func() {
-			logger.Printf("admin endpoint on %s (/metrics /healthz /sessions /debug/pprof)", *admin)
+			logger.Printf("admin endpoint on %s (/metrics /healthz /sessions /plan /debug/pprof)", *admin)
 			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Printf("admin server: %v", err)
 			}

@@ -18,6 +18,13 @@
 // around dead depots (needs a seekable source):
 //
 //	lslcat -route depot1:5000,depot2:5000 -target server:7000 -file big.iso -retries 8
+//
+// Auto-routing picks the cascade itself: give it an overlay graph (the
+// lslplan format) and the local node's name, and the live logistics
+// planner ranks candidate routes by forecast completion time, starts on
+// the best one, and replans onto the next-best after failures:
+//
+//	lslcat -graph overlay.txt -from ucsb -auto-route -target server:7000 -file big.iso
 package main
 
 import (
@@ -49,15 +56,34 @@ func main() {
 		eager   = flag.Bool("eager", false, "stream without waiting for the end-to-end accept")
 		noDig   = flag.Bool("no-digest", false, "disable the end-to-end MD5 trailer")
 		retries = flag.Int("retries", 0, "self-heal transient failures with up to this many re-dials (resume + failover; needs a seekable source: -file or -bench)")
+		graphF  = flag.String("graph", "", "overlay graph file (lslplan format) for -auto-route")
+		from    = flag.String("from", "", "this host's node name in the -graph overlay")
+		autoRt  = flag.Bool("auto-route", false, "let the logistics planner choose and adapt the route (needs -graph and -from; implies the self-healing engine)")
 		quiet   = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
+
+	var planner *lsl.Planner
+	if *autoRt {
+		if *graphF == "" || *from == "" {
+			log.Fatal("-auto-route needs -graph and -from")
+		}
+		f, err := os.Open(*graphF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		planner, err = lsl.PlannerFromOverlay(f, lsl.NodeID(*from))
+		f.Close()
+		if err != nil {
+			log.Fatalf("building planner: %v", err)
+		}
+	}
 
 	switch {
 	case *listen != "":
 		runTarget(*listen, *quiet)
 	case *target != "":
-		runSender(*routeS, *target, *file, *sizeS, *benchS, *eager, *noDig, *retries, *quiet)
+		runSender(*routeS, *target, *file, *sizeS, *benchS, *eager, *noDig, *retries, *quiet, planner)
 	default:
 		log.Fatal("need -listen (receive) or -target (send); see -h")
 	}
@@ -97,7 +123,7 @@ func runTarget(addr string, quiet bool) {
 	}
 }
 
-func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest bool, retries int, quiet bool) {
+func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest bool, retries int, quiet bool, planner *lsl.Planner) {
 	route := lsl.Route{Target: target}
 	if routeS != "" {
 		route.Via = strings.Split(routeS, ",")
@@ -147,15 +173,15 @@ func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest bool,
 		}
 	}
 
-	if retries > 0 {
+	if retries > 0 || planner != nil {
 		rs, ok := src.(io.ReadSeeker)
 		if !ok {
-			log.Fatal("-retries needs a seekable source: use -file or -bench, not stdin")
+			log.Fatal("-retries/-auto-route need a seekable source: use -file or -bench, not stdin")
 		}
 		if eager {
-			log.Fatal("-retries and -eager are mutually exclusive (healing needs the resume handshake)")
+			log.Fatal("-retries/-auto-route and -eager are mutually exclusive (healing needs the resume handshake)")
 		}
-		runResilient(route, rs, size, retries, noDigest, quiet)
+		runResilient(route, rs, size, retries, noDigest, quiet, planner)
 		return
 	}
 
@@ -199,10 +225,16 @@ func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest bool,
 
 // runResilient sends src through the self-healing transfer engine: every
 // transient failure (reset, dead depot, timeout) is retried with resume,
-// and a dead first-hop depot is dropped from the route.
-func runResilient(route lsl.Route, src io.ReadSeeker, size int64, retries int, noDigest, quiet bool) {
-	opts := []lsl.TransferOption{
-		lsl.WithTransferPolicy(lsl.TransferPolicy{MaxAttempts: retries + 1}),
+// and a dead first-hop depot is dropped from the route. With a planner,
+// the route itself comes from live forecasts and failover goes to the
+// next-best predicted candidate instead.
+func runResilient(route lsl.Route, src io.ReadSeeker, size int64, retries int, noDigest, quiet bool, planner *lsl.Planner) {
+	var opts []lsl.TransferOption
+	if retries > 0 {
+		opts = append(opts, lsl.WithTransferPolicy(lsl.TransferPolicy{MaxAttempts: retries + 1}))
+	}
+	if planner != nil {
+		opts = append(opts, lsl.WithPlanner(planner))
 	}
 	if noDigest {
 		opts = append(opts, lsl.WithoutTransferDigest())

@@ -190,6 +190,12 @@ type Conn struct {
 	// pending is the encoded open header staged for coalescing with the
 	// first payload write (eager sessions only; nil once flushed).
 	pending []byte
+
+	// dialDur and acceptDur time the first-hop transport dial and the
+	// end-to-end accept round trip — the raw RTT observations the live
+	// logistics planner (internal/logistics) feeds into its forecasters.
+	dialDur   time.Duration
+	acceptDur time.Duration
 }
 
 // Dial opens a session along route. With Options.Eager unset it blocks
@@ -218,6 +224,7 @@ func Dial(ctx context.Context, route Route, opts ...Option) (*Conn, error) {
 	hops := route.Hops()
 	var nc net.Conn
 	var err error
+	dialStart := time.Now()
 	if o.Pool != nil {
 		// Warm trunk when available: no TCP handshake, no cold congestion
 		// window. The pool falls back to a classic connection for
@@ -229,6 +236,7 @@ func Dial(ctx context.Context, route Route, opts ...Option) (*Conn, error) {
 			sockopt.Tune(nc, o.SockSndBuf, o.SockRcvBuf)
 		}
 	}
+	dialDur := time.Since(dialStart)
 	if err != nil {
 		return nil, &DialError{Hop: hops[0], Err: err}
 	}
@@ -270,7 +278,7 @@ func Dial(ctx context.Context, route Route, opts ...Option) (*Conn, error) {
 		deadline = dl
 	}
 	nc.SetDeadline(deadline)
-	c := &Conn{nc: nc, id: id, opts: o}
+	c := &Conn{nc: nc, id: id, opts: o, dialDur: dialDur}
 	if o.Digest {
 		c.hash = md5.New()
 	}
@@ -285,7 +293,9 @@ func Dial(ctx context.Context, route Route, opts ...Option) (*Conn, error) {
 		return nil, fmt.Errorf("lsl: send header: %w", err)
 	}
 	if !o.Eager {
+		acceptStart := time.Now()
 		acc, err := wire.ReadAcceptFrame(nc)
+		c.acceptDur = time.Since(acceptStart)
 		if err != nil {
 			nc.Close()
 			return nil, fmt.Errorf("lsl: waiting for session accept: %w", err)
@@ -310,6 +320,15 @@ func (c *Conn) SessionID() wire.SessionID { return c.id }
 // Offset returns the target's already-received byte count reported in the
 // accept (non-zero only for resumed sessions).
 func (c *Conn) Offset() int64 { return c.startOffset }
+
+// DialDuration returns how long the first-hop transport dial took — a
+// first-hop RTT proxy the logistics planner folds into its forecasts.
+func (c *Conn) DialDuration() time.Duration { return c.dialDur }
+
+// AcceptDuration returns how long the end-to-end accept took to return
+// through the cascade after the open header was sent (zero for eager
+// sessions, which never wait for it).
+func (c *Conn) AcceptDuration() time.Duration { return c.acceptDur }
 
 // Written returns the session's logical stream position: bytes written on
 // this sublink plus, after SendReader on a resumed session, the prefix the

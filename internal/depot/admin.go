@@ -12,6 +12,8 @@ import (
 //	/metrics      Prometheus text exposition (counters, gauges, histograms)
 //	/healthz      liveness probe ("ok")
 //	/sessions     JSON snapshot of live sessions + the recent ring
+//	/plan         JSON forecast snapshot of the logistics planner
+//	              (404 when the depot runs without one)
 //	/debug/pprof  the standard Go profiling endpoints
 //
 // The handler is safe to serve while the depot is relaying traffic; all
@@ -31,6 +33,16 @@ func AdminHandler(d *Depot) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(d.Sessions())
+	})
+	mux.HandleFunc("/plan", func(w http.ResponseWriter, r *http.Request) {
+		if d.cfg.PlanView == nil {
+			http.Error(w, "no planner configured", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(d.cfg.PlanView())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

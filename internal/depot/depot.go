@@ -108,6 +108,16 @@ type Config struct {
 	// defaults); TCP_NODELAY is always set on TCP sublinks.
 	SockSndBuf int
 	SockRcvBuf int
+	// OnSessionEnd, when set, receives every finished session record
+	// (including rejections) right after it enters the recent ring. The
+	// logistics control plane uses this to feed per-next-hop relay
+	// measurements into its forecasters. Called outside registry locks,
+	// but synchronously on the session goroutine — keep it fast.
+	OnSessionEnd func(SessionInfo)
+	// PlanView, when set, is rendered as JSON on the admin /plan endpoint
+	// (the logistics planner's forecast snapshot). Kept as an opaque
+	// closure so the depot does not depend on the planner package.
+	PlanView func() interface{}
 }
 
 // DefaultDrainTimeout is how long Close waits for in-flight sessions
@@ -264,7 +274,7 @@ func New(cfg Config) *Depot {
 		root:     root,
 		cancel:   cancel,
 		reg:      reg,
-		sessions: newSessionRegistry(cfg.RecentSessions),
+		sessions: newSessionRegistry(cfg.RecentSessions, cfg.OnSessionEnd),
 	}
 	d.accepted = reg.Counter("lsd_sessions_accepted_total",
 		"Sessions admitted and forwarded toward their next hop.")

@@ -1,0 +1,86 @@
+package depot
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// /plan is 404 until a planner view is wired in; with one it serves the
+// view's JSON verbatim.
+func TestAdminPlanView(t *testing.T) {
+	d, _ := runDepot(t, Config{})
+	code, _ := adminGET(t, AdminHandler(d), "/plan")
+	if code != http.StatusNotFound {
+		t.Fatalf("/plan without planner: status %d, want 404", code)
+	}
+
+	d2, _ := runDepot(t, Config{
+		PlanView: func() interface{} {
+			return map[string]interface{}{"self": "denver", "edges": 4}
+		},
+	})
+	code, body := adminGET(t, AdminHandler(d2), "/plan")
+	if code != http.StatusOK {
+		t.Fatalf("/plan status %d", code)
+	}
+	var v struct {
+		Self  string `json:"self"`
+		Edges int    `json:"edges"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("/plan JSON: %v\n%s", err, body)
+	}
+	if v.Self != "denver" || v.Edges != 4 {
+		t.Fatalf("/plan view: %+v", v)
+	}
+}
+
+// OnSessionEnd fires for both retired live sessions and straight-to-ring
+// records, outside the registry lock (re-entrancy must not deadlock).
+func TestRegistryOnSessionEnd(t *testing.T) {
+	var got []SessionInfo
+	var r *sessionRegistry
+	r = newSessionRegistry(2, func(info SessionInfo) {
+		r.snapshot() // would deadlock if onEnd ran under the lock
+		got = append(got, info)
+	})
+
+	ls := r.add(SessionInfo{ID: "live", Kind: KindRelay, NextHop: "next:1"})
+	ls.bytesFwd.Store(42)
+	r.finish(ls, OutcomeCompleted, 2*time.Second)
+	r.record(SessionInfo{ID: "rejected", Outcome: OutcomeRejectedBusy})
+
+	if len(got) != 2 {
+		t.Fatalf("callbacks=%d, want 2", len(got))
+	}
+	if got[0].ID != "live" || got[0].Outcome != OutcomeCompleted ||
+		got[0].BytesForward != 42 || got[0].DurationSeconds != 2 {
+		t.Fatalf("finish callback: %+v", got[0])
+	}
+	if got[1].ID != "rejected" || got[1].Outcome != OutcomeRejectedBusy {
+		t.Fatalf("record callback: %+v", got[1])
+	}
+}
+
+// The depot plumbs Config.OnSessionEnd through to its registry.
+func TestDepotInvokesOnSessionEnd(t *testing.T) {
+	ended := make(chan SessionInfo, 4)
+	d, depotAddr := runDepot(t, Config{
+		OnSessionEnd: func(info SessionInfo) { ended <- info },
+	})
+	targetAddr, _ := rawTarget(t)
+	nc := openThrough(t, depotAddr, targetAddr)
+	nc.Close()
+
+	select {
+	case info := <-ended:
+		if info.NextHop != targetAddr {
+			t.Fatalf("session end: %+v", info)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnSessionEnd never fired")
+	}
+	_ = d
+}

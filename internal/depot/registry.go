@@ -85,15 +85,19 @@ type sessionRegistry struct {
 	recent []SessionInfo // ring, oldest at next
 	next   int
 	filled bool
+	// onEnd observes every finished record (Config.OnSessionEnd); invoked
+	// outside the registry lock.
+	onEnd func(SessionInfo)
 }
 
-func newSessionRegistry(capacity int) *sessionRegistry {
+func newSessionRegistry(capacity int, onEnd func(SessionInfo)) *sessionRegistry {
 	if capacity <= 0 {
 		capacity = DefaultRecentSessions
 	}
 	return &sessionRegistry{
 		live:   make(map[*liveSession]struct{}),
 		recent: make([]SessionInfo, capacity),
+		onEnd:  onEnd,
 	}
 }
 
@@ -115,6 +119,9 @@ func (r *sessionRegistry) finish(ls *liveSession, outcome string, d time.Duratio
 	delete(r.live, ls)
 	r.push(info)
 	r.mu.Unlock()
+	if r.onEnd != nil {
+		r.onEnd(info)
+	}
 }
 
 // record writes a session that never went live (a rejection) straight
@@ -123,6 +130,9 @@ func (r *sessionRegistry) record(info SessionInfo) {
 	r.mu.Lock()
 	r.push(info)
 	r.mu.Unlock()
+	if r.onEnd != nil {
+		r.onEnd(info)
+	}
 }
 
 func (r *sessionRegistry) push(info SessionInfo) {

@@ -171,7 +171,7 @@ func TestAdmissionControlConcurrent(t *testing.T) {
 
 // The recent ring keeps only the newest entries once it wraps.
 func TestRecentSessionRingWraps(t *testing.T) {
-	r := newSessionRegistry(3)
+	r := newSessionRegistry(3, nil)
 	for i := 0; i < 5; i++ {
 		r.record(SessionInfo{ID: fmt.Sprintf("s%d", i), Outcome: OutcomeRejectedBusy})
 	}

@@ -1,0 +1,246 @@
+package logistics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lsl/internal/core"
+	"lsl/internal/depot"
+	"lsl/internal/metrics"
+	"lsl/internal/route"
+)
+
+// testGraph is a diamond: client reaches server through a fast depot A
+// and a slow depot B.
+//
+//	client --5ms/100M-- A --5ms/100M-- server
+//	client --40ms/50M-- B --40ms/50M-- server
+func testGraph() *route.Graph {
+	g := route.NewGraph()
+	g.AddNode(route.Node{ID: "client"})
+	g.AddNode(route.Node{ID: "A", Depot: true, Addr: "a:5000"})
+	g.AddNode(route.Node{ID: "B", Depot: true, Addr: "b:5000"})
+	g.AddNode(route.Node{ID: "server", Addr: "srv:7000"})
+	fast := route.Metrics{RTTSeconds: 0.005, BandwidthBps: 100e6, LossProb: 2.5e-4}
+	slow := route.Metrics{RTTSeconds: 0.040, BandwidthBps: 50e6, LossProb: 2.5e-4}
+	g.AddDuplex("client", "A", fast)
+	g.AddDuplex("A", "server", fast)
+	g.AddDuplex("client", "B", slow)
+	g.AddDuplex("B", "server", slow)
+	return g
+}
+
+func newTestPlanner(t *testing.T) *Planner {
+	t.Helper()
+	p, err := New(testGraph(), "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetMetrics(NewMetrics(metrics.NewRegistry()))
+	return p
+}
+
+func TestNewRejectsUnknownSelf(t *testing.T) {
+	if _, err := New(testGraph(), "nobody"); err == nil {
+		t.Fatal("unknown self accepted")
+	}
+}
+
+func TestPlanRoutesRanksFastDepotFirst(t *testing.T) {
+	p := newTestPlanner(t)
+	routes, err := p.PlanRoutes("srv:7000", 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) < 2 {
+		t.Fatalf("routes=%d, want >= 2", len(routes))
+	}
+	best := routes[0]
+	if len(best.Via) != 1 || best.Via[0] != "a:5000" {
+		t.Fatalf("best route via %v, want [a:5000]", best.Via)
+	}
+	if best.Target != "srv:7000" {
+		t.Fatalf("target %q", best.Target)
+	}
+}
+
+func TestPlanRoutesUnknownTarget(t *testing.T) {
+	p := newTestPlanner(t)
+	if _, err := p.PlanRoutes("elsewhere:1", 1<<20); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+// A failure on the fast route poisons its edges; the next plan prefers
+// the alternate, and subsequent successes decay the loss forecast back.
+func TestFailurePoisonsThenSuccessDecays(t *testing.T) {
+	p := newTestPlanner(t)
+	viaA := core.Route{Via: []string{"a:5000"}, Target: "srv:7000"}
+
+	p.ObserveFailure(viaA, "a:5000") // dial failure at the first hop
+	m, lossFc, ok := p.EdgeState("client", "A")
+	if !ok {
+		t.Fatal("edge client->A missing")
+	}
+	if m.LossProb < 0.4 || lossFc < 0.4 {
+		t.Fatalf("loss after poison: metrics=%v forecast=%v, want >= 0.4", m.LossProb, lossFc)
+	}
+	// Only the leg up to the failed hop is poisoned.
+	if m2, _, _ := p.EdgeState("A", "server"); m2.LossProb >= 0.4 {
+		t.Fatalf("A->server poisoned by first-hop dial failure: %v", m2.LossProb)
+	}
+
+	routes, err := p.PlanRoutes("srv:7000", 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes[0].Via) != 1 || routes[0].Via[0] != "b:5000" {
+		t.Fatalf("post-failure best route via %v, want [b:5000]", routes[0].Via)
+	}
+
+	// Recovery: successes on the A route decay the loss forecast.
+	for i := 0; i < 6; i++ {
+		p.ObserveSuccess(viaA, 8<<20, 1.0, 0.005)
+	}
+	if _, lossAfter, _ := p.EdgeState("client", "A"); lossAfter >= lossFc {
+		t.Fatalf("loss forecast did not decay: %v -> %v", lossFc, lossAfter)
+	}
+}
+
+// An in-session failure (unknown hop) poisons every leg of the route.
+func TestUnattributedFailurePoisonsWholeRoute(t *testing.T) {
+	p := newTestPlanner(t)
+	p.ObserveFailure(core.Route{Via: []string{"a:5000"}, Target: "srv:7000"}, "")
+	for _, e := range [][2]route.NodeID{{"client", "A"}, {"A", "server"}} {
+		if m, _, _ := p.EdgeState(e[0], e[1]); m.LossProb < 0.4 {
+			t.Fatalf("edge %s->%s not poisoned: %v", e[0], e[1], m.LossProb)
+		}
+	}
+	if m, _, _ := p.EdgeState("client", "B"); m.LossProb >= 0.4 {
+		t.Fatalf("uninvolved edge poisoned: %v", m.LossProb)
+	}
+}
+
+func TestObserveSuccessUpdatesBandwidthAndRTT(t *testing.T) {
+	p := newTestPlanner(t)
+	viaA := core.Route{Via: []string{"a:5000"}, Target: "srv:7000"}
+	// 8 MiB in 4s ~= 16.8 Mbps achieved — well under the declared 100 Mbps.
+	p.ObserveSuccess(viaA, 8<<20, 4.0, 0.009)
+	m, _, _ := p.EdgeState("client", "A")
+	if m.BandwidthBps >= 100e6 {
+		t.Fatalf("bandwidth forecast not folded in: %v", m.BandwidthBps)
+	}
+	if m.RTTSeconds != 0.009 {
+		t.Fatalf("rtt forecast %v, want 0.009", m.RTTSeconds)
+	}
+}
+
+func TestMetricsCount(t *testing.T) {
+	reg := metrics.NewRegistry()
+	met := NewMetrics(reg)
+	p, err := New(testGraph(), "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetMetrics(met)
+	p.ObserveRTT("client", "A", 0.005)
+	p.ObserveRTT("client", "A", 0.006)
+	p.RecordReplan()
+	if v := met.Observations.Value(); v != 2 {
+		t.Fatalf("observations %d", v)
+	}
+	if v := met.Replans.Value(); v != 1 {
+		t.Fatalf("replans %d", v)
+	}
+	// Two observations on one series: the second is scored, MSE exists.
+	if v := met.ForecastMSE.Value(); v < 0 {
+		t.Fatalf("forecast mse %v", v)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"lsl_logistics_observations_total 2",
+		"lsl_logistics_replans_total 1",
+		"lsl_logistics_forecast_mse",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestSnapshotIsJSONSafe(t *testing.T) {
+	p := newTestPlanner(t)
+	p.ObserveFailure(core.Route{Via: []string{"a:5000"}, Target: "srv:7000"}, "a:5000")
+	v := p.Snapshot()
+	if v.Self != "client" || len(v.Nodes) != 4 || len(v.Edges) != 8 {
+		t.Fatalf("snapshot shape: self=%q nodes=%d edges=%d", v.Self, len(v.Nodes), len(v.Edges))
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("snapshot not JSON-marshalable: %v", err)
+	}
+	if !strings.Contains(string(out), `"loss_predictor"`) {
+		t.Fatalf("snapshot missing predictor provenance:\n%s", out)
+	}
+}
+
+func TestDepotHookFeedsNextHopEdge(t *testing.T) {
+	g := testGraph()
+	p, err := New(g, "A") // planner runs on depot A
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetMetrics(NewMetrics(metrics.NewRegistry()))
+	hook := p.DepotHook()
+
+	hook(depot.SessionInfo{
+		Kind: depot.KindRelay, NextHop: "srv:7000",
+		Outcome: depot.OutcomeCompleted, BytesForward: 4 << 20, DurationSeconds: 2,
+	})
+	m, _, _ := p.EdgeState("A", "server")
+	if m.BandwidthBps >= 100e6 {
+		t.Fatalf("relay throughput not folded in: %v", m.BandwidthBps)
+	}
+
+	hook(depot.SessionInfo{
+		Kind: depot.KindRelay, NextHop: "srv:7000", Outcome: depot.OutcomeDialFailed,
+	})
+	if m, _, _ = p.EdgeState("A", "server"); m.LossProb < 0.2 {
+		t.Fatalf("dial failure not folded in: %v", m.LossProb)
+	}
+
+	// Unknown next hops and outcomes are ignored, not fatal.
+	hook(depot.SessionInfo{NextHop: "unknown:1", Outcome: depot.OutcomeCompleted})
+	hook(depot.SessionInfo{NextHop: "srv:7000", Outcome: depot.OutcomeCanceled})
+}
+
+func TestFromOverlay(t *testing.T) {
+	text := `
+node client
+node A depot addr a:5000
+node server addr srv:7000
+edge client A 5 100 0.00025
+edge A server 5 100 0.00025
+`
+	p, err := FromOverlay(strings.NewReader(text), "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := p.PlanRoutes("srv:7000", 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) == 0 {
+		t.Fatal("no routes")
+	}
+	if _, err := FromOverlay(strings.NewReader(text), "ghost"); err == nil {
+		t.Fatal("unknown self accepted")
+	}
+	if _, err := FromOverlay(strings.NewReader("garbage"), "client"); err == nil {
+		t.Fatal("bad overlay accepted")
+	}
+}

@@ -63,6 +63,17 @@ func (g *Gauge) SetMax(v int64) {
 // Value reads the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a float-valued gauge for quantities that are not integer
+// counts — forecast errors, ratios, seconds. Lock-free (float64 bits in
+// an atomic word), like the integer metrics.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reads the current value (0 before any Set).
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // Histogram counts observations into cumulative buckets with fixed upper
 // bounds, plus a running sum and count, matching the Prometheus histogram
 // model.
@@ -169,6 +180,7 @@ type family struct {
 	name, help, typ string
 	counter         *Counter
 	gauge           *Gauge
+	fgauge          *FloatGauge
 	hist            *Histogram
 	counterVec      *CounterVec
 	histVec         *HistogramVec
@@ -215,6 +227,13 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// FloatGauge registers and returns a float-valued gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	g := &FloatGauge{}
+	r.register(&family{name: name, help: help, typ: "gauge", fgauge: g})
+	return g
+}
+
 // Histogram registers and returns a histogram with the given upper
 // bounds (+Inf is implicit).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -250,6 +269,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "%s %d\n", f.name, f.counter.Value())
 		case f.gauge != nil:
 			fmt.Fprintf(bw, "%s %d\n", f.name, f.gauge.Value())
+		case f.fgauge != nil:
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatFloat(f.fgauge.Value()))
 		case f.hist != nil:
 			writeHistogram(bw, f.name, "", f.hist)
 		case f.counterVec != nil:

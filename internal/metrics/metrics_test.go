@@ -105,6 +105,27 @@ func TestGaugeSetMax(t *testing.T) {
 	}
 }
 
+func TestFloatGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.FloatGauge("test_mse", "Forecast error.")
+	if g.Value() != 0 {
+		t.Fatalf("zero value = %v", g.Value())
+	}
+	g.Set(0.125)
+	if g.Value() != 0.125 {
+		t.Fatalf("value = %v", g.Value())
+	}
+	g.Set(3.5e-7)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP test_mse Forecast error.\n# TYPE test_mse gauge\ntest_mse 3.5e-07\n"
+	if sb.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
 // Concurrent increments across every metric type while a renderer runs;
 // meaningful under -race, and the final counts must be exact.
 func TestConcurrentUpdates(t *testing.T) {

@@ -59,10 +59,9 @@ func (f *runningMean) Forecast() float64 {
 
 // slidingWindow keeps the last w observations.
 type slidingWindow struct {
-	w      int
-	buf    []float64
-	next   int
-	filled bool
+	w    int
+	buf  []float64
+	next int
 }
 
 func newWindow(w int) *slidingWindow { return &slidingWindow{w: w, buf: make([]float64, 0, w)} }
@@ -74,7 +73,6 @@ func (f *slidingWindow) Update(v float64) {
 	}
 	f.buf[f.next] = v
 	f.next = (f.next + 1) % f.w
-	f.filled = true
 }
 
 func (f *slidingWindow) values() []float64 { return f.buf }

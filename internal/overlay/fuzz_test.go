@@ -1,0 +1,35 @@
+package overlay
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzOverlayParse throws arbitrary text at the overlay parser — it reads
+// untrusted, operator-authored files — checking that it never panics and
+// that anything it accepts round-trips its node declarations through
+// FormatNodes.
+func FuzzOverlayParse(f *testing.F) {
+	f.Add("node a\nnode b depot addr h:1\nedge a b 10 100 0.001\n")
+	f.Add("# comment\n\nnode x addr host:7000\n")
+	f.Add("edge a b 1 2 0.5")
+	f.Add("node")
+	f.Add("edge a b -1 0 2")
+	f.Add("bogus directive")
+	f.Add("node a depot depot depot\nedge a a 0 0 0")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Comment stripping happens before parsing, so no accepted node
+		// name or addr can contain '#': the node listing must re-parse.
+		g2, err := Parse(strings.NewReader(FormatNodes(g)))
+		if err != nil {
+			t.Fatalf("reparse of formatted nodes failed: %v\ninput: %q", err, input)
+		}
+		if got, want := len(g2.Nodes()), len(g.Nodes()); got != want {
+			t.Fatalf("round-trip node count = %d, want %d (input %q)", got, want, input)
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package resilience_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"lsl/internal/core"
+	"lsl/internal/depot"
+	"lsl/internal/faultnet"
+	"lsl/internal/logistics"
+	"lsl/internal/metrics"
+	"lsl/internal/resilience"
+	"lsl/internal/route"
+)
+
+// The logistics acceptance case: two real depots front the same target,
+// the overlay graph predicts depA's path faster, and the fault harness
+// resets depA's path mid-stream. The engine must open on the predicted
+// route, feed the failure back into the forecasts, replan onto depB's
+// path, and deliver byte-exact — with the degraded edge's loss forecast
+// visibly poisoned afterwards.
+func TestTransferReplansOntoPredictedAlternate(t *testing.T) {
+	vt := newVerifyingTarget(t)
+	depAAddr, _ := startDepot(t, depot.Config{DrainTimeout: 0})
+	depBAddr, _ := startDepot(t, depot.Config{})
+	payload := randBytes(4<<20, 11)
+
+	// Planning graph over the live addresses: depA's path has 5ms legs at
+	// 100 Mbps, depB's 40ms legs at 50 Mbps. No direct edge — a "direct"
+	// TCP candidate still exists but rides the same physical edges.
+	g := route.NewGraph()
+	g.AddNode(route.Node{ID: "client"})
+	g.AddNode(route.Node{ID: "depA", Depot: true, Addr: depAAddr})
+	g.AddNode(route.Node{ID: "depB", Depot: true, Addr: depBAddr})
+	g.AddNode(route.Node{ID: "server", Addr: vt.addr()})
+	fast := route.Metrics{RTTSeconds: 0.005, BandwidthBps: 100e6, LossProb: 2.5e-4}
+	slow := route.Metrics{RTTSeconds: 0.040, BandwidthBps: 50e6, LossProb: 2.5e-4}
+	g.AddDuplex("client", "depA", fast)
+	g.AddDuplex("depA", "server", fast)
+	g.AddDuplex("client", "depB", slow)
+	g.AddDuplex("depB", "server", slow)
+
+	pl, err := logistics.New(g, "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmet := logistics.NewMetrics(metrics.NewRegistry())
+	pl.SetMetrics(lmet)
+
+	// Sanity: the fresh forecasts rank depA's cascade first.
+	routes, err := pl.PlanRoutes(vt.addr(), int64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) == 0 || len(routes[0].Via) != 1 || routes[0].Via[0] != depAAddr {
+		t.Fatalf("initial plan %+v, want via depA %s", routes, depAAddr)
+	}
+
+	// Degrade the predicted-faster path: the first session through depA is
+	// reset mid-stream.
+	fn := faultnet.New(nil)
+	fn.Script(depAAddr, faultnet.Step{ResetAfterBytes: 150_000})
+
+	res, err := resilience.Transfer(context.Background(),
+		core.Route{Target: vt.addr()}, // planner overrides this
+		bytes.NewReader(payload), int64(len(payload)),
+		resilience.WithPolicy(fastPolicy()),
+		resilience.WithDialer(fn.DialContext),
+		resilience.WithPlanner(pl),
+		resilience.WithLogf(t.Logf))
+	if err != nil {
+		t.Fatalf("planned transfer did not heal: %v", err)
+	}
+	vt.wait(t, payload)
+
+	if len(res.Route.Via) != 1 || res.Route.Via[0] != depBAddr {
+		t.Fatalf("final route via %v, want the alternate depot %s", res.Route.Via, depBAddr)
+	}
+	if res.Failovers < 1 {
+		t.Fatalf("failovers=%d, want >= 1", res.Failovers)
+	}
+	if got := lmet.Replans.Value(); got < 1 {
+		t.Fatalf("lsl_logistics_replans_total=%d, want >= 1", got)
+	}
+	if got := lmet.Observations.Value(); got == 0 {
+		t.Fatal("no observations fed back")
+	}
+	// The reset poisoned the degraded path's edges.
+	if _, lossFc, ok := pl.EdgeState("client", "depA"); !ok || lossFc < 0.4 {
+		t.Fatalf("client->depA loss forecast %v (ok=%v), want >= 0.4", lossFc, ok)
+	}
+	// The surviving path stayed clean and absorbed the success feedback.
+	if m, _, _ := pl.EdgeState("client", "depB"); m.LossProb >= 0.4 {
+		t.Fatalf("surviving edge poisoned: %v", m.LossProb)
+	}
+}
+
+// With a planner that cannot plan (unknown target), the engine falls
+// back to the caller's route and the transfer still completes.
+func TestTransferPlannerFallsBackOnUnknownTarget(t *testing.T) {
+	vt := newVerifyingTarget(t)
+	dep, _ := startDepot(t, depot.Config{})
+	payload := randBytes(200_000, 12)
+
+	g := route.NewGraph()
+	g.AddNode(route.Node{ID: "client"})
+	g.AddNode(route.Node{ID: "elsewhere", Addr: "elsewhere:1"})
+	g.AddEdge("client", "elsewhere", route.Metrics{RTTSeconds: 0.01, BandwidthBps: 1e8, LossProb: 1e-4})
+	pl, err := logistics.New(g, "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.SetMetrics(logistics.NewMetrics(metrics.NewRegistry()))
+
+	res, err := resilience.Transfer(context.Background(),
+		core.Route{Via: []string{dep}, Target: vt.addr()},
+		bytes.NewReader(payload), int64(len(payload)),
+		resilience.WithPolicy(fastPolicy()),
+		resilience.WithPlanner(pl),
+		resilience.WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt.wait(t, payload)
+	if len(res.Route.Via) != 1 || res.Route.Via[0] != dep {
+		t.Fatalf("fallback route %v, want caller's via %s", res.Route.Via, dep)
+	}
+}

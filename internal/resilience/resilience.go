@@ -158,6 +158,26 @@ func defaultMetrics() *Metrics {
 	return defaultMet
 }
 
+// Planner ranks candidate session routes by predicted completion time
+// and learns from every attempt. Implemented by internal/logistics; the
+// interface lives here so the engine depends only on the decision
+// surface, not on the forecasting machinery behind it.
+type Planner interface {
+	// PlanRoutes returns candidate routes to the target address, best
+	// predicted first. An error (or empty slice) makes the engine fall
+	// back to the caller-provided route.
+	PlanRoutes(target string, size int64) ([]core.Route, error)
+	// ObserveSuccess feeds back a delivered attempt: payload bytes
+	// streamed, attempt wall-time, and first-hop dial time (seconds).
+	ObserveSuccess(route core.Route, bytes int64, seconds, dialSeconds float64)
+	// ObserveFailure reports a failed attempt; hop is the dialable
+	// address that failed, or "" when the failure cannot be attributed
+	// to one hop.
+	ObserveFailure(route core.Route, hop string)
+	// RecordReplan counts a failover onto the next-best predicted route.
+	RecordReplan()
+}
+
 // config collects per-transfer options.
 type config struct {
 	policy         Policy
@@ -168,6 +188,7 @@ type config struct {
 	session        wire.SessionID
 	met            *Metrics
 	logf           func(format string, args ...interface{})
+	planner        Planner
 }
 
 // Option tunes one Transfer call.
@@ -202,6 +223,13 @@ func WithMetrics(m *Metrics) Option { return func(c *config) { c.met = m } }
 func WithLogf(f func(format string, args ...interface{})) Option {
 	return func(c *config) { c.logf = f }
 }
+
+// WithPlanner drives route selection by pl: the transfer starts on the
+// predicted-fastest candidate route to the target (the caller-provided
+// Via list becomes a fallback), fails over to the next-best predicted
+// route after a transient failure, and feeds every attempt's
+// measurements back into the planner's forecasts.
+func WithPlanner(pl Planner) Option { return func(c *config) { c.planner = pl } }
 
 // Permanent reports whether err can never be fixed by retrying: the
 // session was actively refused by a depot or the target (ErrRejected),
@@ -270,6 +298,16 @@ func Transfer(ctx context.Context, route core.Route, src io.ReadSeeker, size int
 
 	// Work on a private copy of the route: failover mutates Via.
 	cur := core.Route{Via: append([]string(nil), route.Via...), Target: route.Target}
+	if cfg.planner != nil {
+		// Let the planner pick the opening route. Planning failures are
+		// soft: the caller's route still works without forecasts.
+		if routes, perr := cfg.planner.PlanRoutes(route.Target, size); perr == nil && len(routes) > 0 {
+			cur = routes[0]
+			logf("resilience: session %s planner chose route %v (%d candidates)", id, cur.Hops(), len(routes))
+		} else if perr != nil {
+			logf("resilience: session %s planner unavailable (%v); using provided route", id, perr)
+		}
+	}
 	res := &Result{Session: id, Route: cur, Bytes: size}
 	start := time.Now()
 	finish := func(outcome string) {
@@ -290,8 +328,11 @@ func Transfer(ctx context.Context, route core.Route, src io.ReadSeeker, size int
 				return res, err
 			}
 		}
-		err := attemptOnce(ctx, &cfg, cur, id, src, size)
+		st, err := attemptOnce(ctx, &cfg, cur, id, src, size)
 		if err == nil {
+			if cfg.planner != nil {
+				cfg.planner.ObserveSuccess(cur, st.bytes, st.seconds, st.dialSeconds)
+			}
 			finish(OutcomeDelivered)
 			return res, nil
 		}
@@ -306,10 +347,32 @@ func Transfer(ctx context.Context, route core.Route, src io.ReadSeeker, size int
 		}
 		logf("resilience: session %s attempt %d/%d failed: %v", id, attempt, pol.MaxAttempts, err)
 
+		var de *core.DialError
+		dialFailed := errors.As(err, &de)
+		if cfg.planner != nil {
+			// Feed the failure back (a dial error names the dead hop; an
+			// in-session failure poisons the whole route) and switch to
+			// whatever the updated forecasts now rank best.
+			failedHop := ""
+			if dialFailed {
+				failedHop = de.Hop
+			}
+			cfg.planner.ObserveFailure(cur, failedHop)
+			if routes, perr := cfg.planner.PlanRoutes(cur.Target, size); perr == nil && len(routes) > 0 {
+				if next := routes[0]; !sameRoute(next, cur) {
+					cur = next
+					res.Failovers++
+					met.Failovers.Inc()
+					cfg.planner.RecordReplan()
+					logf("resilience: session %s replanned onto %v", id, cur.Hops())
+				}
+			}
+			continue
+		}
+
 		// A dead first hop is a failover candidate: after FailoverAfter
 		// consecutive dial failures against it, route around it.
-		var de *core.DialError
-		if errors.As(err, &de) && len(cur.Via) > 0 && de.Hop == cur.Via[0] && pol.FailoverAfter > 0 {
+		if dialFailed && len(cur.Via) > 0 && de.Hop == cur.Via[0] && pol.FailoverAfter > 0 {
 			firstHopFails++
 			if firstHopFails >= pol.FailoverAfter {
 				dead := cur.Via[0]
@@ -328,11 +391,31 @@ func Transfer(ctx context.Context, route core.Route, src io.ReadSeeker, size int
 	return res, fmt.Errorf("resilience: session %s: %w after %d attempts: %w", id, ErrExhausted, res.Attempts, lastErr)
 }
 
+// sameRoute reports whether two routes dial the same hop sequence.
+func sameRoute(a, b core.Route) bool {
+	if a.Target != b.Target || len(a.Via) != len(b.Via) {
+		return false
+	}
+	for i := range a.Via {
+		if a.Via[i] != b.Via[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// attemptStats are the measurements one attempt feeds back to a planner.
+type attemptStats struct {
+	bytes       int64   // payload bytes this attempt was responsible for
+	seconds     float64 // attempt wall time
+	dialSeconds float64 // first-hop transport dial time
+}
+
 // attemptOnce runs one complete session attempt: dial with resume, seek
 // to the target's confirmed offset, stream the remainder, and drain the
 // backward channel until the cascade unwinds (EOF), which is the signal
 // that the target-side sublink fully consumed the stream.
-func attemptOnce(ctx context.Context, cfg *config, route core.Route, id wire.SessionID, src io.ReadSeeker, size int64) error {
+func attemptOnce(ctx context.Context, cfg *config, route core.Route, id wire.SessionID, src io.ReadSeeker, size int64) (st attemptStats, err error) {
 	opts := []core.Option{
 		core.WithContentLength(size),
 		core.WithSession(id),
@@ -347,24 +430,28 @@ func attemptOnce(ctx context.Context, cfg *config, route core.Route, id wire.Ses
 	if cfg.handshake > 0 {
 		opts = append(opts, core.WithHandshakeTimeout(cfg.handshake))
 	}
+	start := time.Now()
+	defer func() { st.seconds = time.Since(start).Seconds() }()
 	c, err := core.Dial(ctx, route, opts...)
 	if err != nil {
-		return err
+		return st, err
 	}
 	defer c.Close()
+	st.dialSeconds = c.DialDuration().Seconds()
 	if c.Offset() > size {
-		return fmt.Errorf("%w: %d > %d", errOffsetBeyondLength, c.Offset(), size)
+		return st, fmt.Errorf("%w: %d > %d", errOffsetBeyondLength, c.Offset(), size)
 	}
+	st.bytes = size - c.Offset()
 	// SendReader positions src itself when resuming (offset > 0); at
 	// offset 0 it streams from the current position, which after a failed
 	// attempt is wherever the dead sublink stopped — rewind explicitly.
 	if c.Offset() == 0 {
 		if _, err := src.Seek(0, io.SeekStart); err != nil {
-			return fmt.Errorf("rewind source: %w", err)
+			return st, fmt.Errorf("rewind source: %w", err)
 		}
 	}
 	if err := c.SendReader(src); err != nil {
-		return fmt.Errorf("send: %w", err)
+		return st, fmt.Errorf("send: %w", err)
 	}
 	// Confirm: wait for the cascade to unwind. A depot dying after the
 	// last payload byte but before the target drained it surfaces here as
@@ -374,7 +461,7 @@ func attemptOnce(ctx context.Context, cfg *config, route core.Route, id wire.Ses
 		c.SetDeadline(time.Now().Add(cfg.confirmTimeout))
 	}
 	if _, err := io.Copy(io.Discard, c); err != nil {
-		return fmt.Errorf("confirm drain: %w", err)
+		return st, fmt.Errorf("confirm drain: %w", err)
 	}
-	return nil
+	return st, nil
 }

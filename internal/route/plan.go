@@ -140,8 +140,10 @@ func (p Plan) Addrs(g *Graph) (via []string, target string, err error) {
 	return via, target, nil
 }
 
-// RankCandidates returns every evaluated plan (direct and cascades),
-// sorted by predicted completion time — diagnostic output for cmd tools.
+// RankCandidates returns every evaluated plan (direct plus single- and
+// two-depot cascades), sorted by predicted completion time — the
+// candidate list consumed by the live planner (internal/logistics) and
+// the diagnostic output of cmd/lslplan.
 func (g *Graph) RankCandidates(src, dst NodeID, size int64) ([]Plan, error) {
 	directPath, _, err := g.MinLatencyPath(src, dst)
 	if err != nil {
@@ -158,9 +160,20 @@ func (g *Graph) RankCandidates(src, dst NodeID, size int64) ([]Plan, error) {
 		PredictedSeconds: directSec,
 		DirectSeconds:    directSec,
 	}}
-	for _, d := range g.depotList(src, dst) {
+	depots := g.depotList(src, dst)
+	for _, d := range depots {
 		if p, ok := g.tryCascade(src, dst, size, directSec, d); ok {
 			plans = append(plans, p)
+		}
+	}
+	for i, d1 := range depots {
+		for j, d2 := range depots {
+			if i == j {
+				continue
+			}
+			if p, ok := g.tryCascade(src, dst, size, directSec, d1, d2); ok {
+				plans = append(plans, p)
+			}
 		}
 	}
 	sort.Slice(plans, func(i, j int) bool {

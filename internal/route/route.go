@@ -91,6 +91,43 @@ func (g *Graph) AddDuplex(a, b NodeID, m Metrics) error {
 	return g.AddEdge(b, a, m)
 }
 
+// SetEdge replaces the metrics of the directed edge from->to, inserting
+// the edge if it does not exist yet. This is the live-update path: the
+// logistics control plane (internal/logistics) folds fresh NWS forecasts
+// into the planning graph between transfers.
+func (g *Graph) SetEdge(from, to NodeID, m Metrics) error {
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("route: unknown node %s", from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("route: unknown node %s", to)
+	}
+	for i := range g.adj[from] {
+		if g.adj[from][i].To == to {
+			g.adj[from][i].M = m
+			return nil
+		}
+	}
+	g.adj[from] = append(g.adj[from], Edge{From: from, To: to, M: m})
+	return nil
+}
+
+// Edges returns every directed edge, sorted by (From, To) for
+// determinism.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for _, id := range g.Nodes() {
+		out = append(out, g.adj[id]...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
 // ErrNoPath is returned when src cannot reach dst.
 var ErrNoPath = errors.New("route: no path")
 

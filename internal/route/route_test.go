@@ -189,9 +189,16 @@ func TestRankCandidatesSorted(t *testing.T) {
 			t.Fatal("not sorted")
 		}
 	}
-	// The slow depot must rank last.
+	// The worst plan must cascade through the slow depot (with two-depot
+	// candidates enumerated, the very worst chains it with another hop).
 	last := plans[len(plans)-1]
-	if len(last.Hops) != 3 || last.Hops[1] != "slowdepot" {
+	viaSlow := false
+	for _, h := range last.Hops[1 : len(last.Hops)-1] {
+		if h == "slowdepot" {
+			viaSlow = true
+		}
+	}
+	if !viaSlow {
 		t.Fatalf("worst plan: %v", last.Hops)
 	}
 }

@@ -132,6 +132,7 @@ func NewDepot(cfg DepotConfig) *Depot { return depot.New(cfg) }
 
 // DepotAdminHandler serves a depot's admin surface: /metrics (Prometheus
 // text format), /healthz, /sessions (JSON of live + recent sessions),
+// /plan (the logistics planner's forecast snapshot, when configured),
 // and /debug/pprof.
 func DepotAdminHandler(d *Depot) http.Handler { return depot.AdminHandler(d) }
 
@@ -254,4 +255,10 @@ var (
 	WithTransferHandshakeTimeout = resilience.WithHandshakeTimeout
 	// WithTransferConfirmTimeout bounds the post-payload confirm drain.
 	WithTransferConfirmTimeout = resilience.WithConfirmTimeout
+	// WithPlanner drives route selection by a live logistics Planner: the
+	// transfer starts on the predicted-fastest route, fails over to the
+	// next-best predicted route on transient failure, and feeds every
+	// attempt's measurements back into the planner's forecasts (see
+	// NewPlanner / PlannerFromOverlay in route.go).
+	WithPlanner = resilience.WithPlanner
 )

@@ -1,7 +1,11 @@
 package lsl
 
 import (
+	"io"
+
+	"lsl/internal/logistics"
 	"lsl/internal/nws"
+	"lsl/internal/overlay"
 	"lsl/internal/route"
 	"lsl/internal/tcpmodel"
 )
@@ -58,3 +62,42 @@ func MathisThroughputBps(mssBytes int, rttSeconds, lossProb float64) float64 {
 func CascadePredictSeconds(size int64, hops []PathModel, depotDelaySeconds float64) float64 {
 	return tcpmodel.CascadeTransferSeconds(size, hops, depotDelaySeconds)
 }
+
+// ParseOverlay reads the textual depot-overlay format (see cmd/lslplan
+// and internal/overlay) into a planning graph.
+func ParseOverlay(r io.Reader) (*Graph, error) { return overlay.Parse(r) }
+
+// --- live route selection (internal/logistics) ---
+
+// Planner is the live logistics control plane: it owns a planning graph,
+// keeps one NWS forecast series per (edge, metric) pair, ingests
+// measurements from real transfers, and ranks candidate session routes by
+// predicted completion time. Pass it to Transfer with WithPlanner to
+// close the measure->forecast->plan->transfer loop.
+type Planner = logistics.Planner
+
+// PlannerMetrics is the planner's counter set (lsl_logistics_*): link
+// observations, replans, and the winning predictors' mean squared error.
+type PlannerMetrics = logistics.Metrics
+
+// PlannerView is the planner's observable state (the depot admin /plan
+// payload): nodes, per-edge live metrics with forecast provenance, and
+// totals.
+type PlannerView = logistics.View
+
+// NewPlanner builds a live planner over g, planning from the named local
+// node. The graph is owned by the planner from here on.
+func NewPlanner(g *Graph, self NodeID) (*Planner, error) { return logistics.New(g, self) }
+
+// PlannerFromOverlay parses an overlay description and builds a planner
+// planning from self.
+func PlannerFromOverlay(r io.Reader, self NodeID) (*Planner, error) {
+	return logistics.FromOverlay(r, self)
+}
+
+// NewPlannerMetrics registers the lsl_logistics_* families on reg.
+func NewPlannerMetrics(reg *MetricsRegistry) *PlannerMetrics { return logistics.NewMetrics(reg) }
+
+// PlannerMetricsRegistry returns the process-wide registry behind
+// planners that did not supply their own metrics.
+func PlannerMetricsRegistry() *MetricsRegistry { return logistics.DefaultRegistry() }

@@ -67,11 +67,15 @@ func StripedReceive(ln *Listener, stripes int, out io.Writer) (int64, error) {
 	recv := stripe.NewReceiver(out)
 	var wg sync.WaitGroup
 	errs := make(chan error, stripes)
+	var conns []*ServerConn
+	var acceptErr error
 	for i := 0; i < stripes; i++ {
 		sc, err := ln.Accept()
 		if err != nil {
-			return recv.Written(), err
+			acceptErr = err
+			break
 		}
+		conns = append(conns, sc)
 		wg.Add(1)
 		go func(sc *ServerConn) {
 			defer wg.Done()
@@ -81,9 +85,20 @@ func StripedReceive(ln *Listener, stripes int, out io.Writer) (int64, error) {
 			}
 		}(sc)
 	}
+	if acceptErr != nil {
+		// A mid-group accept failure means the group can never complete.
+		// Cancel the sessions already attached and wait for their
+		// goroutines: returning with them in flight would leak them and
+		// race on recv.
+		for _, sc := range conns {
+			sc.Close()
+		}
+		wg.Wait()
+		return recv.Written(), acceptErr
+	}
 	wg.Wait()
 	close(errs)
-	for err := range errs {
+	if err := <-errs; err != nil {
 		return recv.Written(), err
 	}
 	if !recv.Complete() {

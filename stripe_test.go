@@ -70,6 +70,62 @@ func TestStripedTransferThroughDepots(t *testing.T) {
 	}
 }
 
+// A mid-group accept failure must abort the whole group: StripedReceive
+// returns the accept error AND tears down the sessions it had already
+// attached, instead of leaking their goroutines against a stream that
+// can never complete.
+func TestStripedReceiveAbortsGroupOnAcceptError(t *testing.T) {
+	ln, err := lsl.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		n   int64
+		err error
+	}
+	got := make(chan result, 1)
+	go func() {
+		var out bytes.Buffer
+		n, rerr := lsl.StripedReceive(ln, 2, &out)
+		got <- result{n, rerr}
+	}()
+
+	// First stripe attaches (Dial returning proves its accept completed)…
+	c, err := lsl.Dial(context.Background(), lsl.Route{Target: ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// …then the listener dies before the second stripe arrives.
+	ln.Close()
+
+	select {
+	case r := <-got:
+		if r.err == nil {
+			t.Fatalf("StripedReceive returned nil error for a half-accepted group (%d bytes)", r.n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("StripedReceive hung on a mid-group accept error")
+	}
+
+	// The already-attached session was cancelled, not leaked: the sender
+	// side observes the close instead of blocking forever.
+	readDone := make(chan error, 1)
+	go func() {
+		_, rerr := c.Read(make([]byte, 1))
+		readDone <- rerr
+	}()
+	select {
+	case rerr := <-readDone:
+		if rerr == nil {
+			t.Fatal("attached session still readable after group abort")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("attached session leaked: sender read still blocked after group abort")
+	}
+}
+
 func TestStripedSendNeedsRoutes(t *testing.T) {
 	if err := lsl.StripedSend(context.Background(), nil, bytes.NewReader(nil), 0, 0); err == nil {
 		t.Fatal("no routes accepted")
