@@ -25,6 +25,14 @@
 // the best one, and replans onto the next-best after failures:
 //
 //	lslcat -graph overlay.txt -from ucsb -auto-route -target server:7000 -file big.iso
+//
+// Striped mode carries one stream over N concurrent self-healing
+// sessions; with -auto-route the planner places them on link-disjoint
+// routes weighted by predicted throughput. The listener reassembles one
+// group and exits:
+//
+//	lslcat -listen :7000 -stripes 3 > received.bin
+//	lslcat -graph overlay.txt -from ucsb -auto-route -stripes 3 -target server:7000 -file big.iso
 package main
 
 import (
@@ -59,6 +67,7 @@ func main() {
 		graphF  = flag.String("graph", "", "overlay graph file (lslplan format) for -auto-route")
 		from    = flag.String("from", "", "this host's node name in the -graph overlay")
 		autoRt  = flag.Bool("auto-route", false, "let the logistics planner choose and adapt the route (needs -graph and -from; implies the self-healing engine)")
+		stripes = flag.Int("stripes", 1, "stripe the stream over this many concurrent self-healing sessions (send needs -file or -bench; listen reassembles one group and exits)")
 		quiet   = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -80,12 +89,36 @@ func main() {
 	}
 
 	switch {
+	case *listen != "" && *stripes > 1:
+		runStripedTarget(*listen, *stripes, *quiet)
 	case *listen != "":
 		runTarget(*listen, *quiet)
 	case *target != "":
-		runSender(*routeS, *target, *file, *sizeS, *benchS, *eager, *noDig, *retries, *quiet, planner)
+		runSender(*routeS, *target, *file, *sizeS, *benchS, *eager, *noDig, *retries, *stripes, *quiet, planner)
 	default:
 		log.Fatal("need -listen (receive) or -target (send); see -h")
+	}
+}
+
+// runStripedTarget reassembles one stripe group onto stdout and exits.
+func runStripedTarget(addr string, stripes int, quiet bool) {
+	ln, err := lsl.Listen(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	if !quiet {
+		log.Printf("listening on %s for a %d-stripe group", ln.Addr(), stripes)
+	}
+	start := time.Now()
+	n, err := lsl.StripedReceive(ln, stripes, os.Stdout)
+	if err != nil {
+		log.Fatalf("striped receive failed after %d bytes: %v", n, err)
+	}
+	if !quiet {
+		el := time.Since(start)
+		log.Printf("striped group: %d bytes in %v = %.2f Mbit/s",
+			n, el.Round(time.Millisecond), float64(n)*8/el.Seconds()/1e6)
 	}
 }
 
@@ -123,7 +156,7 @@ func runTarget(addr string, quiet bool) {
 	}
 }
 
-func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest bool, retries int, quiet bool, planner *lsl.Planner) {
+func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest bool, retries, stripes int, quiet bool, planner *lsl.Planner) {
 	route := lsl.Route{Target: target}
 	if routeS != "" {
 		route.Via = strings.Split(routeS, ",")
@@ -138,10 +171,11 @@ func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest bool,
 			log.Fatalf("bad -bench: %v", err)
 		}
 		size = n
-		if retries > 0 {
+		if retries > 0 || stripes > 1 {
 			// The resilient engine re-reads the stream from the resume
-			// offset, so the synthetic payload must be seekable: hold it in
-			// memory instead of streaming from the generator.
+			// offset (striping re-reads frames on reassignment), so the
+			// synthetic payload must be random-access: hold it in memory
+			// instead of streaming from the generator.
 			buf, err := io.ReadAll(io.LimitReader(rand.New(rand.NewSource(1)), n))
 			if err != nil {
 				log.Fatal(err)
@@ -171,6 +205,18 @@ func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest bool,
 			}
 			size = n
 		}
+	}
+
+	if stripes > 1 {
+		ra, ok := src.(io.ReaderAt)
+		if !ok || size < 0 {
+			log.Fatal("-stripes needs a sized, random-access source: use -file or -bench, not stdin")
+		}
+		if eager {
+			log.Fatal("-stripes and -eager are mutually exclusive")
+		}
+		runStriped(route, ra, size, stripes, retries, quiet, planner)
+		return
 	}
 
 	if retries > 0 || planner != nil {
@@ -220,6 +266,38 @@ func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest bool,
 			"lslcat: session %s: %d bytes via %d depot(s) in %v (setup %v) = %.2f Mbit/s\n",
 			c.SessionID(), n, hops, el.Round(time.Millisecond), setup.Round(time.Millisecond),
 			float64(n)*8/el.Seconds()/1e6)
+	}
+}
+
+// runStriped sends src over stripes concurrent self-healing sessions.
+// With a planner the sessions land on link-disjoint routes weighted by
+// predicted throughput; without one, they share the given route.
+func runStriped(route lsl.Route, src io.ReaderAt, size int64, stripes, retries int, quiet bool, planner *lsl.Planner) {
+	opts := []lsl.TransferOption{lsl.WithStripes(stripes)}
+	if retries > 0 {
+		opts = append(opts, lsl.WithTransferPolicy(lsl.TransferPolicy{MaxAttempts: retries + 1}))
+	}
+	if planner != nil {
+		opts = append(opts, lsl.WithPlanner(planner))
+	}
+	if !quiet {
+		opts = append(opts, lsl.WithTransferLogf(log.Printf))
+	}
+	start := time.Now()
+	res, err := lsl.StripedTransfer(context.Background(), []lsl.Route{route}, src, size, opts...)
+	if err != nil {
+		log.Fatalf("striped transfer: %v", err)
+	}
+	if !quiet {
+		el := time.Since(start)
+		fmt.Fprintf(os.Stderr,
+			"lslcat: group %s: %d bytes over %d stripes in %v = %.2f Mbit/s (heals %d, replans %d, abandoned %d, rebalances %d)\n",
+			res.Group, res.Bytes, res.Stripes, el.Round(time.Millisecond),
+			float64(res.Bytes)*8/el.Seconds()/1e6,
+			res.Heals, res.Replans, res.Abandoned, res.Rebalances)
+		for i, r := range res.Routes {
+			log.Printf("stripe %d: %d bytes via %v", i, res.StripeBytes[i], r.Hops())
+		}
 	}
 }
 

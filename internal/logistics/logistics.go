@@ -281,6 +281,45 @@ func (p *Planner) PlanRoutes(target string, size int64) ([]core.Route, error) {
 	return routes, nil
 }
 
+// PlanStripes returns up to k edge-disjoint session routes to the target
+// plus a predicted-throughput weight (bits/sec over the forecast graph)
+// for each — the initial dispatch weights of a striped transfer. The
+// fastest route is always included; fewer than k routes come back when
+// the overlay cannot support more disjoint paths. Per-stripe feedback
+// flows through the same ObserveSuccess/ObserveFailure used for
+// single-path transfers, so each stripe's fate re-weights exactly the
+// edges it crossed.
+func (p *Planner) PlanStripes(target string, size int64, k int) ([]core.Route, []float64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dst, ok := p.byAddr[target]
+	if !ok {
+		return nil, nil, fmt.Errorf("logistics: target %s not in planning graph", target)
+	}
+	plans, err := p.graph.DisjointRoutes(p.self, dst, size, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	var routes []core.Route
+	var weights []float64
+	for _, pl := range plans {
+		via, tgt, err := pl.Addrs(p.graph)
+		if err != nil {
+			continue
+		}
+		w := 1.0
+		if pl.PredictedSeconds > 0 && size > 0 {
+			w = float64(size) * 8 / pl.PredictedSeconds
+		}
+		routes = append(routes, core.Route{Via: via, Target: tgt})
+		weights = append(weights, w)
+	}
+	if len(routes) == 0 {
+		return nil, nil, fmt.Errorf("logistics: no dialable disjoint route to %s", target)
+	}
+	return routes, weights, nil
+}
+
 // ObserveSuccess feeds back a delivered attempt: achieved throughput and
 // a zero-loss observation on every underlying edge the session route
 // crossed, plus the first-hop dial RTT when the first leg is a single

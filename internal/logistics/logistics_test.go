@@ -244,3 +244,60 @@ edge A server 5 100 0.00025
 		t.Fatal("bad overlay accepted")
 	}
 }
+
+func TestPlanStripesDisjointWeighted(t *testing.T) {
+	p := newTestPlanner(t)
+	routes, weights, err := p.PlanStripes("srv:7000", 64<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 2 || len(weights) != 2 {
+		t.Fatalf("got %d routes / %d weights, want 2 disjoint cascades", len(routes), len(weights))
+	}
+	if len(routes[0].Via) != 1 || routes[0].Via[0] != "a:5000" {
+		t.Fatalf("fastest stripe route via %v, want [a:5000]", routes[0].Via)
+	}
+	if len(routes[1].Via) != 1 || routes[1].Via[0] != "b:5000" {
+		t.Fatalf("second stripe route via %v, want [b:5000]", routes[1].Via)
+	}
+	if weights[0] <= weights[1] || weights[1] <= 0 {
+		t.Fatalf("weights %v not ordered with the ranking", weights)
+	}
+
+	capped, cw, err := p.PlanStripes("srv:7000", 64<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 1 || len(cw) != 1 {
+		t.Fatalf("k=1 returned %d routes", len(capped))
+	}
+	if _, _, err := p.PlanStripes("elsewhere:1", 1<<20, 0); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+// Per-stripe failure feedback must reorder the next stripe plan: after a
+// stripe on the A route dies, B becomes the predicted-fastest route.
+func TestPlanStripesLearnsFromStripeFailure(t *testing.T) {
+	p := newTestPlanner(t)
+	routes, _, err := p.PlanStripes("srv:7000", 64<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routes[0].Via[0] != "a:5000" {
+		t.Fatalf("precondition: fastest via %v", routes[0].Via)
+	}
+	for i := 0; i < 3; i++ {
+		p.ObserveFailure(routes[0], "")
+	}
+	replanned, weights, err := p.PlanStripes("srv:7000", 64<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replanned[0].Via[0] != "b:5000" {
+		t.Fatalf("after stripe failures fastest via %v, want [b:5000]", replanned[0].Via)
+	}
+	if weights[0] <= 0 {
+		t.Fatalf("weights %v", weights)
+	}
+}

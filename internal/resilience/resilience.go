@@ -140,15 +140,17 @@ var (
 	defaultOnce sync.Once
 	defaultReg  *metrics.Registry
 	defaultMet  *Metrics
+	defaultSMet *StripedMetrics
 )
 
 // DefaultRegistry returns the process-wide registry holding the
-// lsl_transfer_* metrics of transfers that did not supply their own sink
-// (render it with WritePrometheus).
+// lsl_transfer_* and lsl_stripe_* metrics of transfers that did not
+// supply their own sink (render it with WritePrometheus).
 func DefaultRegistry() *metrics.Registry {
 	defaultOnce.Do(func() {
 		defaultReg = metrics.NewRegistry()
 		defaultMet = NewMetrics(defaultReg)
+		defaultSMet = NewStripedMetrics(defaultReg)
 	})
 	return defaultReg
 }
@@ -156,6 +158,11 @@ func DefaultRegistry() *metrics.Registry {
 func defaultMetrics() *Metrics {
 	DefaultRegistry()
 	return defaultMet
+}
+
+func defaultStripedMetrics() *StripedMetrics {
+	DefaultRegistry()
+	return defaultSMet
 }
 
 // Planner ranks candidate session routes by predicted completion time
@@ -189,6 +196,12 @@ type config struct {
 	met            *Metrics
 	logf           func(format string, args ...interface{})
 	planner        Planner
+	// striped-transfer knobs (see striped.go)
+	stripes        int
+	frameSize      int
+	queueFrames    int
+	rebalanceBytes int64
+	smet           *StripedMetrics
 }
 
 // Option tunes one Transfer call.

@@ -1,0 +1,580 @@
+// Striped self-healing transfers: one logical stream over N concurrent
+// sessions on (ideally) link-disjoint routes, scheduled by the weighted
+// credit dispatcher of internal/stripe and healed per stripe with the
+// same classify/backoff/redial machinery single-path Transfer uses. A
+// stripe that dies mid-flow is re-dialed — after a replan onto the
+// next-best disjoint route when a planner is attached — and the frames it
+// had in flight are reassigned; a stripe whose attempt budget runs out is
+// abandoned and its share flows through the survivors. Delivery is
+// confirmed per stripe by the cascade unwinding, with a replay path for
+// stripes whose confirmation fails after the data phase.
+
+package resilience
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"lsl/internal/backoff"
+	"lsl/internal/core"
+	"lsl/internal/metrics"
+	"lsl/internal/stripe"
+	"lsl/internal/wire"
+)
+
+// StripePlanner extends Planner with disjoint multi-path planning.
+// Implemented by internal/logistics; a plain Planner still works with
+// StripedTransfer (replans use PlanRoutes), it just cannot propose
+// link-disjoint route sets or predicted stripe weights.
+type StripePlanner interface {
+	Planner
+	// PlanStripes returns up to k edge-disjoint routes to the target,
+	// best predicted first, with a predicted-throughput weight for each.
+	PlanStripes(target string, size int64, k int) ([]core.Route, []float64, error)
+}
+
+// StripedMetrics is the striped engine's counter set.
+type StripedMetrics struct {
+	// Groups is lsl_stripe_groups_total.
+	Groups *metrics.Counter
+	// Rebalances is lsl_stripe_rebalances_total.
+	Rebalances *metrics.Counter
+	// StripeHeals is lsl_stripe_stripe_heals_total.
+	StripeHeals *metrics.Counter
+	// FramesReassigned is lsl_stripe_frames_reassigned_total.
+	FramesReassigned *metrics.Counter
+}
+
+// NewStripedMetrics registers the lsl_stripe_* families on reg.
+func NewStripedMetrics(reg *metrics.Registry) *StripedMetrics {
+	return &StripedMetrics{
+		Groups: reg.Counter("lsl_stripe_groups_total",
+			"Striped transfer groups started."),
+		Rebalances: reg.Counter("lsl_stripe_rebalances_total",
+			"Mid-flow stripe weight recomputations from observed throughput."),
+		StripeHeals: reg.Counter("lsl_stripe_stripe_heals_total",
+			"Individual stripes re-attached after a mid-flow failure."),
+		FramesReassigned: reg.Counter("lsl_stripe_frames_reassigned_total",
+			"Frames requeued off dead or abandoned stripes."),
+	}
+}
+
+// WithStripes sets the stripe count (default: one per provided route).
+func WithStripes(n int) Option { return func(c *config) { c.stripes = n } }
+
+// WithFrameSize sets the striping granularity in bytes.
+func WithFrameSize(n int) Option { return func(c *config) { c.frameSize = n } }
+
+// WithQueueFrames bounds frames queued per stripe ahead of its writer.
+func WithQueueFrames(n int) Option { return func(c *config) { c.queueFrames = n } }
+
+// WithRebalanceBytes recomputes stripe weights from observed throughput
+// every n bytes written (<= 0 disables mid-flow rebalancing).
+func WithRebalanceBytes(n int64) Option { return func(c *config) { c.rebalanceBytes = n } }
+
+// WithStripedMetrics directs the lsl_stripe_* counters at m instead of
+// the package default registry.
+func WithStripedMetrics(m *StripedMetrics) Option { return func(c *config) { c.smet = m } }
+
+// StripedResult reports how a striped transfer was achieved.
+type StripedResult struct {
+	// Group identifies the stripe group (not a session ID: each stripe
+	// session draws its own).
+	Group wire.SessionID
+	// Stripes is the group fan-out.
+	Stripes int
+	// Routes is the final route each stripe delivered over.
+	Routes []core.Route
+	// StripeBytes is the payload bytes each stripe carried.
+	StripeBytes []int64
+	// Bytes is the logical stream length.
+	Bytes int64
+	// Heals counts stripes successfully re-attached after a failure.
+	Heals int
+	// Replans counts stripes moved onto a different route.
+	Replans int
+	// Abandoned counts stripes whose budget ran out (their frames were
+	// delivered by the survivors).
+	Abandoned int
+	// Rebalances counts mid-flow weight recomputations.
+	Rebalances int64
+	// FramesReassigned counts frames requeued off dead stripes.
+	FramesReassigned int64
+	// Duration is wall-clock time for the whole group.
+	Duration time.Duration
+}
+
+// stripeCtl is the engine's per-stripe mutable state, guarded by the
+// engine mutex.
+type stripeCtl struct {
+	route       core.Route
+	conn        *core.Conn
+	dialSeconds float64
+	attempts    int // session dials consumed from the per-stripe budget
+	dialFails   int // consecutive first-hop dial failures (plannerless failover)
+	rng         *rand.Rand
+	lastErr     error
+}
+
+func routeKey(r core.Route) string {
+	return strings.Join(r.Via, ",") + "|" + r.Target
+}
+
+// StripedTransfer delivers size bytes from src over len(routes) (or
+// WithStripes(n)) concurrent stripe sessions and heals individual
+// stripes through transient failures. With a StripePlanner attached
+// (WithPlanner), the provided routes become a fallback: the planner
+// proposes up to n edge-disjoint routes with predicted throughput
+// weights, stripes map onto them cyclically, and every stripe's fate is
+// fed back into the forecasts. Every route must name the same target.
+//
+// src must support concurrent ReadAt (frames are re-read on reassignment
+// and replay). The MD5 digest trailer is not used — integrity rides on
+// per-frame offsets, TCP checksums, and the receiver's completeness
+// check; pair with an end-to-end digest at a higher layer if required.
+func StripedTransfer(ctx context.Context, routes []core.Route, src io.ReaderAt, size int64, opts ...Option) (*StripedResult, error) {
+	cfg := config{confirmTimeout: 30 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pol := cfg.policy.withDefaults()
+	smet := cfg.smet
+	if smet == nil {
+		smet = defaultStripedMetrics()
+	}
+	logf := cfg.logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("resilience: striped transfer needs at least one route")
+	}
+	target := routes[0].Target
+	for _, r := range routes {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		if r.Target != target {
+			return nil, fmt.Errorf("resilience: stripe routes disagree on target (%s vs %s)", r.Target, target)
+		}
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("resilience: striped transfer needs a known size")
+	}
+	n := cfg.stripes
+	if n <= 0 {
+		n = len(routes)
+	}
+	if n > stripe.MaxStripes {
+		return nil, fmt.Errorf("resilience: %d stripes over limit %d", n, stripe.MaxStripes)
+	}
+
+	// Let the planner propose disjoint routes and weights; the caller's
+	// routes remain the fallback when planning is unavailable.
+	var weights []float64
+	if sp, ok := cfg.planner.(StripePlanner); ok {
+		if pr, pw, perr := sp.PlanStripes(target, size, n); perr == nil && len(pr) > 0 {
+			routes, weights = pr, pw
+			logf("resilience: striped planner proposed %d disjoint routes for %d stripes", len(pr), n)
+		} else if perr != nil {
+			logf("resilience: striped planner unavailable (%v); using provided routes", perr)
+		}
+	}
+
+	group := cfg.session
+	if group == (wire.SessionID{}) {
+		group = wire.NewSessionID()
+	}
+	seed := pol.JitterSeed
+	if seed == 0 {
+		seed = int64(binary.BigEndian.Uint64(group[:8]))
+	}
+
+	// Map stripes onto routes cyclically; stripes sharing a route split
+	// its predicted weight.
+	shares := make([]int, len(routes))
+	for i := 0; i < n; i++ {
+		shares[i%len(routes)]++
+	}
+	ctls := make([]*stripeCtl, n)
+	stripeWeights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r := routes[i%len(routes)]
+		ctls[i] = &stripeCtl{
+			route: core.Route{Via: append([]string(nil), r.Via...), Target: r.Target},
+			rng:   rand.New(rand.NewSource(seed + int64(i)*7919)),
+		}
+		w := 1.0
+		if len(weights) > 0 && weights[i%len(weights)] > 0 {
+			w = weights[i%len(weights)] / float64(shares[i%len(routes)])
+		}
+		stripeWeights[i] = w
+	}
+
+	res := &StripedResult{Group: group, Stripes: n, Bytes: size}
+	smet.Groups.Inc()
+	start := time.Now()
+
+	type downEvent struct {
+		idx int
+		err error
+	}
+	// Each stripe can die at most once per attach and attach at most
+	// MaxAttempts times, so the channel never blocks the scheduler.
+	downCh := make(chan downEvent, n*(pol.MaxAttempts+2))
+	snd, err := stripe.NewSender(group, src, size, n, stripe.SenderConfig{
+		FrameSize:      cfg.frameSize,
+		Weights:        stripeWeights,
+		QueueFrames:    cfg.queueFrames,
+		RebalanceBytes: cfg.rebalanceBytes,
+		OnStripeDown:   func(i int, err error) { downCh <- downEvent{i, err} },
+		OnRebalance:    func([]float64) { smet.Rebalances.Inc() },
+		OnReassign:     func(_, frames int) { smet.FramesReassigned.Add(uint64(frames)) },
+		Logf:           logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var emu sync.Mutex // guards ctls fields and res counters
+
+	dialStripe := func(r core.Route) (*core.Conn, error) {
+		opts := []core.Option{core.WithSession(wire.NewSessionID())}
+		if cfg.dial != nil {
+			opts = append(opts, core.WithDialer(cfg.dial))
+		}
+		if cfg.handshake > 0 {
+			opts = append(opts, core.WithHandshakeTimeout(cfg.handshake))
+		}
+		return core.Dial(ctx, r, opts...)
+	}
+
+	// replanStripe moves a stripe whose route keeps failing onto the best
+	// candidate no other stripe is using; without a planner it falls back
+	// to dropping a dead first-hop depot, like single-path failover.
+	replanStripe := func(idx int) {
+		sc := ctls[idx]
+		var cand []core.Route
+		if sp, ok := cfg.planner.(StripePlanner); ok {
+			if rs, _, perr := sp.PlanStripes(target, size, 0); perr == nil {
+				cand = rs
+			}
+		} else if cfg.planner != nil {
+			if rs, perr := cfg.planner.PlanRoutes(target, size); perr == nil {
+				cand = rs
+			}
+		}
+		emu.Lock()
+		defer emu.Unlock()
+		if len(cand) > 0 {
+			used := make(map[string]bool)
+			for j, other := range ctls {
+				if j != idx {
+					used[routeKey(other.route)] = true
+				}
+			}
+			next := cand[0]
+			for _, c := range cand {
+				if !used[routeKey(c)] {
+					next = c
+					break
+				}
+			}
+			if !sameRoute(next, sc.route) {
+				logf("resilience: group %s stripe %d replanned %v -> %v",
+					group, idx, sc.route.Hops(), next.Hops())
+				sc.route = next
+				sc.dialFails = 0
+				res.Replans++
+				cfg.planner.RecordReplan()
+			}
+			return
+		}
+		if cfg.planner == nil && pol.FailoverAfter > 0 &&
+			sc.dialFails >= pol.FailoverAfter && len(sc.route.Via) > 0 {
+			dead := sc.route.Via[0]
+			sc.route.Via = sc.route.Via[1:]
+			sc.dialFails = 0
+			res.Replans++
+			logf("resilience: group %s stripe %d failing over around dead depot %s", group, idx, dead)
+		}
+	}
+
+	// healStripe dials stripe idx (initial attach or heal) within the
+	// stripe's attempt budget, abandoning it when the budget runs out.
+	healStripe := func(idx int, isHeal bool) {
+		sc := ctls[idx]
+		for {
+			if ctx.Err() != nil {
+				snd.Abandon(idx, ctx.Err())
+				return
+			}
+			emu.Lock()
+			if sc.attempts >= pol.MaxAttempts {
+				err := sc.lastErr
+				res.Abandoned++
+				emu.Unlock()
+				logf("resilience: group %s stripe %d abandoned after %d attempts", group, idx, pol.MaxAttempts)
+				snd.Abandon(idx, err)
+				return
+			}
+			sc.attempts++
+			attempt := sc.attempts
+			r := sc.route
+			emu.Unlock()
+			if attempt > 1 {
+				if err := backoff.Sleep(ctx, pol.Backoff.Delay(attempt-1, sc.rng)); err != nil {
+					snd.Abandon(idx, err)
+					return
+				}
+			}
+			c, derr := dialStripe(r)
+			if derr != nil {
+				emu.Lock()
+				sc.lastErr = derr
+				emu.Unlock()
+				if Permanent(derr) {
+					emu.Lock()
+					res.Abandoned++
+					emu.Unlock()
+					snd.Abandon(idx, derr)
+					return
+				}
+				hop := ""
+				var de *core.DialError
+				if errors.As(derr, &de) {
+					hop = de.Hop
+				}
+				emu.Lock()
+				if len(r.Via) > 0 && hop == r.Via[0] {
+					sc.dialFails++
+				} else {
+					sc.dialFails = 0
+				}
+				emu.Unlock()
+				if cfg.planner != nil {
+					cfg.planner.ObserveFailure(r, hop)
+				}
+				logf("resilience: group %s stripe %d dial %v failed (attempt %d/%d): %v",
+					group, idx, r.Hops(), attempt, pol.MaxAttempts, derr)
+				replanStripe(idx)
+				continue
+			}
+			emu.Lock()
+			sc.conn = c
+			sc.dialFails = 0
+			sc.dialSeconds = c.DialDuration().Seconds()
+			emu.Unlock()
+			if aerr := snd.Attach(idx, c); aerr != nil {
+				// Abandoned (or already live) while we were dialing.
+				c.Close()
+				return
+			}
+			if isHeal {
+				smet.StripeHeals.Inc()
+				emu.Lock()
+				res.Heals++
+				emu.Unlock()
+				logf("resilience: group %s stripe %d healed onto %v", group, idx, r.Hops())
+			}
+			return
+		}
+	}
+
+	runDone := make(chan error, 1)
+	go func() { runDone <- snd.Run(ctx) }()
+
+	var healWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		healWG.Add(1)
+		go func(idx int) {
+			defer healWG.Done()
+			healStripe(idx, false)
+		}(i)
+	}
+
+	closeAll := func() {
+		emu.Lock()
+		defer emu.Unlock()
+		for _, sc := range ctls {
+			if sc.conn != nil {
+				sc.conn.Close()
+				sc.conn = nil
+			}
+		}
+	}
+	finish := func() {
+		emu.Lock()
+		defer emu.Unlock()
+		res.Rebalances = snd.Rebalances()
+		res.FramesReassigned = snd.Reassigned()
+		res.StripeBytes = snd.StripeBytes()
+		res.Routes = make([]core.Route, n)
+		for i, sc := range ctls {
+			res.Routes[i] = sc.route
+		}
+		res.Duration = time.Since(start)
+	}
+
+	var runErr error
+events:
+	for {
+		select {
+		case ev := <-downCh:
+			emu.Lock()
+			sc := ctls[ev.idx]
+			if sc.conn != nil {
+				sc.conn.Close()
+				sc.conn = nil
+			}
+			route := sc.route
+			emu.Unlock()
+			logf("resilience: group %s stripe %d died mid-stream: %v", group, ev.idx, ev.err)
+			if cfg.planner != nil {
+				// A mid-session break cannot be attributed to one hop.
+				cfg.planner.ObserveFailure(route, "")
+			}
+			replanStripe(ev.idx)
+			healWG.Add(1)
+			go func(idx int) {
+				defer healWG.Done()
+				healStripe(idx, true)
+			}(ev.idx)
+		case runErr = <-runDone:
+			break events
+		}
+	}
+	healWG.Wait()
+	if runErr != nil {
+		closeAll()
+		finish()
+		return res, fmt.Errorf("resilience: group %s: %w", group, runErr)
+	}
+
+	// Confirm each stripe's delivery: half-close, then drain until the
+	// cascade unwinds. A stripe that cannot confirm is replayed in full
+	// onto a fresh session (the receiver drops the duplicates).
+	confirmStripe := func(idx int) error {
+		sc := ctls[idx]
+		emu.Lock()
+		c := sc.conn
+		emu.Unlock()
+		if c == nil {
+			return nil // abandoned; its bytes were confirmed via the survivors
+		}
+		drain := func(c *core.Conn) error {
+			if err := c.CloseWrite(); err != nil {
+				return err
+			}
+			if cfg.confirmTimeout > 0 {
+				c.SetDeadline(time.Now().Add(cfg.confirmTimeout))
+			}
+			_, err := io.Copy(io.Discard, c)
+			return err
+		}
+		err := drain(c)
+		if err == nil {
+			return nil
+		}
+		logf("resilience: group %s stripe %d confirm failed: %v", group, idx, err)
+		for {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			emu.Lock()
+			if sc.attempts >= pol.MaxAttempts {
+				emu.Unlock()
+				return fmt.Errorf("stripe %d: %w: confirm: %w", idx, ErrExhausted, err)
+			}
+			sc.attempts++
+			attempt := sc.attempts
+			r := sc.route
+			emu.Unlock()
+			if serr := backoff.Sleep(ctx, pol.Backoff.Delay(attempt-1, sc.rng)); serr != nil {
+				return serr
+			}
+			c2, derr := dialStripe(r)
+			if derr != nil {
+				err = derr
+				if Permanent(derr) {
+					return derr
+				}
+				if cfg.planner != nil {
+					hop := ""
+					var de *core.DialError
+					if errors.As(derr, &de) {
+						hop = de.Hop
+					}
+					cfg.planner.ObserveFailure(r, hop)
+				}
+				replanStripe(idx)
+				continue
+			}
+			if rerr := snd.ReplayStripe(idx, c2); rerr != nil {
+				c2.Close()
+				err = rerr
+				if cfg.planner != nil {
+					cfg.planner.ObserveFailure(r, "")
+				}
+				continue
+			}
+			if derr := drain(c2); derr != nil {
+				c2.Close()
+				err = derr
+				continue
+			}
+			emu.Lock()
+			if sc.conn != nil {
+				sc.conn.Close()
+			}
+			sc.conn = c2
+			emu.Unlock()
+			smet.StripeHeals.Inc()
+			emu.Lock()
+			res.Heals++
+			emu.Unlock()
+			logf("resilience: group %s stripe %d confirmed via replay", group, idx)
+			return nil
+		}
+	}
+	confErrs := make(chan error, n)
+	var confWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		confWG.Add(1)
+		go func(idx int) {
+			defer confWG.Done()
+			if err := confirmStripe(idx); err != nil {
+				confErrs <- fmt.Errorf("resilience: group %s: %w", group, err)
+			}
+		}(i)
+	}
+	confWG.Wait()
+	close(confErrs)
+	if err := <-confErrs; err != nil {
+		closeAll()
+		finish()
+		return res, err
+	}
+
+	if cfg.planner != nil {
+		sb := snd.StripeBytes()
+		dur := time.Since(start).Seconds()
+		emu.Lock()
+		for i, sc := range ctls {
+			if sb[i] > 0 {
+				cfg.planner.ObserveSuccess(sc.route, sb[i], dur, sc.dialSeconds)
+			}
+		}
+		emu.Unlock()
+	}
+	closeAll()
+	finish()
+	return res, nil
+}

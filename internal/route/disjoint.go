@@ -1,0 +1,61 @@
+package route
+
+// Multi-path enumeration for striped transfers: a stripe group wants its
+// sessions on routes that do not share underlying links, so one congested
+// or failing link degrades one stripe instead of all of them.
+
+type dirEdge struct {
+	from, to NodeID
+}
+
+// edgeSet collects the directed router-level edges a plan traverses
+// across all of its session legs.
+func (p Plan) edgeSet() map[dirEdge]struct{} {
+	out := make(map[dirEdge]struct{})
+	for _, path := range p.LegPaths {
+		for i := 0; i+1 < len(path); i++ {
+			out[dirEdge{path[i], path[i+1]}] = struct{}{}
+		}
+	}
+	return out
+}
+
+// DisjointRoutes returns up to k candidate plans for a size-byte transfer
+// src->dst whose router-level directed edges are pairwise disjoint,
+// greedily admitted in predicted-completion-time order. The fastest
+// candidate is always included, so the result is never empty when any
+// route exists. k <= 0 removes the cap.
+//
+// Greedy admission over the ranked list is not a max-flow decomposition —
+// it can return fewer paths than the graph supports — but it guarantees
+// the paths it does return are the fastest mutually disjoint ones in
+// ranking order, which is what stripe weighting wants.
+func (g *Graph) DisjointRoutes(src, dst NodeID, size int64, k int) ([]Plan, error) {
+	ranked, err := g.RankCandidates(src, dst, size)
+	if err != nil {
+		return nil, err
+	}
+	used := make(map[dirEdge]struct{})
+	var out []Plan
+	for _, p := range ranked {
+		if k > 0 && len(out) >= k {
+			break
+		}
+		edges := p.edgeSet()
+		conflict := false
+		for e := range edges {
+			if _, ok := used[e]; ok {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		for e := range edges {
+			used[e] = struct{}{}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package route
+
+import "testing"
+
+// multiPath builds a graph with three genuinely link-disjoint ways from
+// src to dst: a direct edge, a cascade via depot d1, and a cascade via
+// depot d2.
+func multiPath() *Graph {
+	g := NewGraph()
+	for _, n := range []Node{{ID: "src"}, {ID: "d1", Depot: true}, {ID: "d2", Depot: true}, {ID: "dst"}} {
+		g.AddNode(n)
+	}
+	// The direct edge has the lowest RTT (so the direct candidate's
+	// router-level path is the direct edge itself, not a detour through
+	// a depot's links) but the least bandwidth, so cascades outrank it.
+	g.AddDuplex("src", "dst", Metrics{RTTSeconds: 0.008, BandwidthBps: 2e7})
+	g.AddDuplex("src", "d1", Metrics{RTTSeconds: 0.005, BandwidthBps: 1e8})
+	g.AddDuplex("d1", "dst", Metrics{RTTSeconds: 0.005, BandwidthBps: 1e8})
+	g.AddDuplex("src", "d2", Metrics{RTTSeconds: 0.02, BandwidthBps: 5e7})
+	g.AddDuplex("d2", "dst", Metrics{RTTSeconds: 0.02, BandwidthBps: 5e7})
+	return g
+}
+
+func planEdges(t *testing.T, plans []Plan) []map[dirEdge]struct{} {
+	t.Helper()
+	out := make([]map[dirEdge]struct{}, len(plans))
+	for i, p := range plans {
+		out[i] = p.edgeSet()
+	}
+	return out
+}
+
+func TestDisjointRoutesAreDisjoint(t *testing.T) {
+	g := multiPath()
+	plans, err := g.DisjointRoutes("src", "dst", 100<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 3 {
+		t.Fatalf("got %d plans, want 3 (d1 cascade, d2 cascade, direct)", len(plans))
+	}
+	sets := planEdges(t, plans)
+	for i := range sets {
+		for j := i + 1; j < len(sets); j++ {
+			for e := range sets[i] {
+				if _, ok := sets[j][e]; ok {
+					t.Fatalf("plans %d and %d share edge %v", i, j, e)
+				}
+			}
+		}
+	}
+	// Ranked order: fastest first.
+	for i := 1; i < len(plans); i++ {
+		if plans[i].PredictedSeconds < plans[i-1].PredictedSeconds {
+			t.Fatalf("plans out of order: %v then %v",
+				plans[i-1].PredictedSeconds, plans[i].PredictedSeconds)
+		}
+	}
+}
+
+func TestDisjointRoutesCap(t *testing.T) {
+	g := multiPath()
+	plans, err := g.DisjointRoutes("src", "dst", 100<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatalf("k=2 returned %d plans", len(plans))
+	}
+}
+
+// TestDisjointRoutesSharedLink: when every cascade funnels through one
+// shared edge, only the best of them can be admitted alongside nothing
+// else that reuses it.
+func TestDisjointRoutesSharedLink(t *testing.T) {
+	g := NewGraph()
+	for _, n := range []Node{{ID: "src"}, {ID: "d1", Depot: true}, {ID: "d2", Depot: true}, {ID: "dst"}} {
+		g.AddNode(n)
+	}
+	// Both depots sit behind the same src->hub-style edge pattern:
+	// src->d1 is the only way out of src, so every route shares it.
+	g.AddDuplex("src", "d1", Metrics{RTTSeconds: 0.005, BandwidthBps: 1e8})
+	g.AddDuplex("d1", "d2", Metrics{RTTSeconds: 0.005, BandwidthBps: 1e8})
+	g.AddDuplex("d1", "dst", Metrics{RTTSeconds: 0.01, BandwidthBps: 5e7})
+	g.AddDuplex("d2", "dst", Metrics{RTTSeconds: 0.01, BandwidthBps: 5e7})
+	plans, err := g.DisjointRoutes("src", "dst", 10<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 1 {
+		for _, p := range plans {
+			t.Logf("plan %v legs %v", p.Hops, p.LegPaths)
+		}
+		t.Fatalf("shared first hop admitted %d plans, want 1", len(plans))
+	}
+}
+
+func TestDisjointRoutesBestAlwaysAdmitted(t *testing.T) {
+	g := multiPath()
+	ranked, err := g.RankCandidates("src", "dst", 100<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := g.DisjointRoutes("src", "dst", 100<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 1 || plans[0].PredictedSeconds != ranked[0].PredictedSeconds {
+		t.Fatalf("k=1 did not return the overall best plan")
+	}
+}
+
+func TestDisjointRoutesNoPath(t *testing.T) {
+	g := NewGraph()
+	g.AddNode(Node{ID: "a"})
+	g.AddNode(Node{ID: "b"})
+	if _, err := g.DisjointRoutes("a", "b", 1<<20, 0); err == nil {
+		t.Fatal("no-path graph accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package stripe
+
+import (
+	"bytes"
+	"testing"
+
+	"lsl/internal/wire"
+)
+
+// FuzzReadGroupHeader must never panic or accept a header that violates
+// the stripe invariants (count in [1,MaxStripes], index < count).
+func FuzzReadGroupHeader(f *testing.F) {
+	g := &GroupHeader{Group: wire.NewSessionID(), Index: 1, Count: 3, TotalLen: 1 << 30}
+	f.Add(g.Encode())
+	f.Add([]byte("LSLS"))
+	f.Add(make([]byte, groupHeaderLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gh, err := ReadGroupHeader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if gh.Count == 0 || gh.Count > MaxStripes || gh.Index >= gh.Count {
+			t.Fatalf("invalid header accepted: %+v", gh)
+		}
+		// Accepted headers must re-encode to the bytes they came from.
+		if !bytes.Equal(gh.Encode(), data[:groupHeaderLen]) {
+			t.Fatalf("re-encode mismatch: %+v", gh)
+		}
+	})
+}
+
+// FuzzReadStripeFrame must never panic and must never hand back a length
+// above MaxFrameSize — that length is fed to make([]byte, n) by callers.
+func FuzzReadStripeFrame(f *testing.F) {
+	var ok bytes.Buffer
+	writeFrame(&ok, 4096, []byte("payload"))
+	f.Add(ok.Bytes())
+	var huge bytes.Buffer
+	writeFrame(&huge, 0, nil)
+	huge.Bytes()[8] = 0xff // length 0xff000000: over MaxFrameSize
+	f.Add(huge.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, length, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if length > MaxFrameSize {
+			t.Fatalf("oversized frame length %d accepted", length)
+		}
+	})
+}

@@ -1,0 +1,224 @@
+package stripe
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"lsl/internal/wire"
+)
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var s bytes.Buffer
+	var hdr [frameHeaderLen]byte
+	hdr[8], hdr[9], hdr[10], hdr[11] = 0xff, 0xff, 0xff, 0xff
+	s.Write(hdr[:])
+	if _, _, err := readFrame(&s); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestReceiverPendingCap stalls stripe 0 (its frames never arrive) while
+// stripe 1 races ahead; once stripe 1's out-of-order frames exceed the
+// configured limit the group must fail with ErrPendingOverflow instead of
+// buffering without bound.
+func TestReceiverPendingCap(t *testing.T) {
+	recv := NewReceiver(io.Discard)
+	recv.SetMaxPending(64 << 10)
+	gh := &GroupHeader{Group: wire.NewSessionID(), Index: 1, Count: 2, TotalLen: 1 << 20}
+	var s bytes.Buffer
+	s.Write(gh.Encode())
+	chunk := make([]byte, 16<<10)
+	// Stripe 0 owns [0, 16K) and never delivers it, so nothing can flush.
+	for off := int64(16 << 10); off < 1<<20; off += 16 << 10 {
+		writeFrame(&s, uint64(off), chunk)
+	}
+	err := recv.Attach(&s)
+	if !errors.Is(err, ErrPendingOverflow) {
+		t.Fatalf("got %v, want ErrPendingOverflow", err)
+	}
+}
+
+// TestReceiverPendingCapLiveStall runs the same scenario over live pipes
+// with a Sender: one attach goroutine never reads, the other stripe keeps
+// delivering until the receiver's cap trips.
+func TestReceiverPendingCapLiveStall(t *testing.T) {
+	payload := make([]byte, 1<<20)
+	rand.New(rand.NewSource(20)).Read(payload)
+	recv := NewReceiver(io.Discard)
+	recv.SetMaxPending(32 << 10)
+
+	snd, err := NewSender(wire.NewSessionID(), bytes.NewReader(payload), int64(len(payload)), 2,
+		SenderConfig{FrameSize: 8 << 10, QueueFrames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stripe 0 stalls: attached to the sender, never drained to the
+	// receiver.
+	stallR, stallW := io.Pipe()
+	defer stallR.Close()
+	if err := snd.Attach(0, stallW); err != nil {
+		t.Fatal(err)
+	}
+	// Stripe 1 flows normally.
+	pr, pw := io.Pipe()
+	if err := snd.Attach(1, pw); err != nil {
+		t.Fatal(err)
+	}
+	go snd.Run(context.Background())
+
+	attachErr := make(chan error, 1)
+	go func() { attachErr <- recv.Attach(pr) }()
+	select {
+	case err := <-attachErr:
+		if !errors.Is(err, ErrPendingOverflow) {
+			t.Fatalf("got %v, want ErrPendingOverflow", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("receiver buffered past its pending cap without failing")
+	}
+}
+
+// TestReceiverUnlimitedPending: SetMaxPending(0) restores the old
+// unbounded behavior.
+func TestReceiverUnlimitedPending(t *testing.T) {
+	var out bytes.Buffer
+	recv := NewReceiver(&out)
+	recv.SetMaxPending(0)
+	gh := &GroupHeader{Group: wire.NewSessionID(), Index: 0, Count: 1, TotalLen: 64 << 10}
+	var s bytes.Buffer
+	s.Write(gh.Encode())
+	chunk := make([]byte, 16<<10)
+	// Deliver everything out of order, then the head, then the end.
+	for off := int64(48 << 10); off >= 0; off -= 16 << 10 {
+		writeFrame(&s, uint64(off), chunk)
+	}
+	writeFrame(&s, 64<<10, nil)
+	if err := recv.Attach(&s); err != nil {
+		t.Fatal(err)
+	}
+	if !recv.Complete() {
+		t.Fatal("incomplete")
+	}
+}
+
+// TestReceiverStripeDeathReattach covers the heal protocol from the
+// receiver's side: a stripe dies mid-stream, a replacement stream for the
+// same index re-sends the group header, replays the dead generation's
+// frames, delivers the rest, and ends — Complete() must come true with
+// byte-exact output.
+func TestReceiverStripeDeathReattach(t *testing.T) {
+	payload := make([]byte, 16<<10)
+	rand.New(rand.NewSource(21)).Read(payload)
+	const fs = 4 << 10
+	var out bytes.Buffer
+	recv := NewReceiver(&out)
+	gh := &GroupHeader{Group: wire.NewSessionID(), Index: 0, Count: 2, TotalLen: uint64(len(payload))}
+
+	// First stream: frames [0,4K) and [8K,12K), then the stripe dies
+	// (stream truncated mid-frame-header).
+	var s1 bytes.Buffer
+	s1.Write(gh.Encode())
+	writeFrame(&s1, 0, payload[0:fs])
+	writeFrame(&s1, 2*fs, payload[2*fs:3*fs])
+	s1.Write([]byte{0, 0, 0}) // torn frame header
+	if err := recv.Attach(&s1); err == nil {
+		t.Fatal("truncated stripe stream accepted")
+	}
+	if recv.Complete() {
+		t.Fatal("complete too early")
+	}
+
+	// Replacement stream, same index: duplicate group header, replays
+	// both frames (no acks, so the healer cannot know what arrived),
+	// then carries the remaining ranges and the end frame.
+	var s2 bytes.Buffer
+	s2.Write(gh.Encode())
+	writeFrame(&s2, 0, payload[0:fs])
+	writeFrame(&s2, 2*fs, payload[2*fs:3*fs])
+	writeFrame(&s2, fs, payload[fs:2*fs])
+	writeFrame(&s2, 3*fs, payload[3*fs:])
+	writeFrame(&s2, uint64(len(payload)), nil)
+	if err := recv.Attach(&s2); err != nil {
+		t.Fatalf("replacement stream rejected: %v", err)
+	}
+	if !recv.Complete() {
+		t.Fatalf("incomplete after heal: %d of %d", recv.Written(), len(payload))
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("payload mismatch after heal")
+	}
+}
+
+// TestReceiverRejectsCorruptReplay: a "replay" whose boundaries do not
+// match any flushed or pending frame is corruption, not healing.
+func TestReceiverRejectsCorruptReplay(t *testing.T) {
+	recv := NewReceiver(io.Discard)
+	gh := &GroupHeader{Group: wire.NewSessionID(), Index: 0, Count: 1, TotalLen: 64}
+	var s1 bytes.Buffer
+	s1.Write(gh.Encode())
+	writeFrame(&s1, 0, make([]byte, 32))
+	s1.Write([]byte{0})
+	if err := recv.Attach(&s1); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	// Same flushed range, different frame boundaries.
+	var s2 bytes.Buffer
+	s2.Write(gh.Encode())
+	writeFrame(&s2, 8, make([]byte, 16))
+	if err := recv.Attach(&s2); !errors.Is(err, ErrFrameOverlap) {
+		t.Fatalf("got %v, want ErrFrameOverlap", err)
+	}
+	// A pending frame replayed with a different length is also corrupt.
+	recv2 := NewReceiver(io.Discard)
+	var s3 bytes.Buffer
+	s3.Write(gh.Encode())
+	writeFrame(&s3, 16, make([]byte, 16)) // pending (head missing)
+	writeFrame(&s3, 16, make([]byte, 8))  // same offset, new length
+	if err := recv2.Attach(&s3); !errors.Is(err, ErrFrameOverlap) {
+		t.Fatalf("got %v, want ErrFrameOverlap", err)
+	}
+}
+
+// TestReceiverConcurrentReplays hammers the dedup path: many goroutines
+// replay overlapping copies of the same stripe stream.
+func TestReceiverConcurrentReplays(t *testing.T) {
+	payload := make([]byte, 128<<10)
+	rand.New(rand.NewSource(22)).Read(payload)
+	var out bytes.Buffer
+	recv := NewReceiver(&out)
+	gh := &GroupHeader{Group: wire.NewSessionID(), Index: 0, Count: 1, TotalLen: uint64(len(payload))}
+	stream := func() []byte {
+		var s bytes.Buffer
+		s.Write(gh.Encode())
+		for off := 0; off < len(payload); off += 8 << 10 {
+			writeFrame(&s, uint64(off), payload[off:off+8<<10])
+		}
+		writeFrame(&s, uint64(len(payload)), nil)
+		return s.Bytes()
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := recv.Attach(bytes.NewReader(stream)); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if !recv.Complete() || !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("concurrent replays corrupted the stream")
+	}
+}

@@ -1,0 +1,707 @@
+package stripe
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"lsl/internal/wire"
+)
+
+// This file replaces the synchronous round-robin Send loop with a
+// scheduler: a weighted-credit dispatcher feeds one writer goroutine per
+// stripe, weights adjust mid-flow from observed per-stripe throughput
+// (TCP-Trunking-style proportional splitting instead of round-robin), and
+// a stripe's unacknowledged frames are reassigned when it dies. Send is
+// kept as the simple one-shot path; Sender is the engine the resilience
+// layer drives.
+
+// Stripe lifecycle states.
+const (
+	stripeIdle      = iota // declared but never attached
+	stripeLive             // attached, worker dispatching frames
+	stripeEnding           // worker committed to writing its end frame
+	stripeFinished         // end frame delivered
+	stripeDead             // write failed; awaiting heal (re-Attach) or Abandon
+	stripeAbandoned        // given up; its frames were reassigned
+)
+
+// Scheduler phases.
+const (
+	phaseData = iota // frames still being dispatched
+	phaseEnd         // all data written; stripes draining end frames
+)
+
+// DefaultQueueFrames bounds how many frames may be queued/inflight per
+// stripe; small values keep the dispatcher's credit decisions responsive
+// to backpressure from a slowing path.
+const DefaultQueueFrames = 4
+
+type frame struct {
+	off int64
+	n   int
+}
+
+// SenderConfig tunes a Sender. The zero value is usable.
+type SenderConfig struct {
+	// FrameSize is the striping granularity (default DefaultFrameSize,
+	// capped at MaxFrameSize).
+	FrameSize int
+	// Weights gives each stripe's initial relative share (e.g. the
+	// planner's predicted per-route throughput). Missing or
+	// non-positive entries default to 1.
+	Weights []float64
+	// QueueFrames bounds frames queued+inflight per stripe (default
+	// DefaultQueueFrames).
+	QueueFrames int
+	// RebalanceBytes recomputes weights from observed per-stripe
+	// throughput every time this many bytes have been written. <= 0
+	// disables mid-flow rebalancing.
+	RebalanceBytes int64
+	// OnStripeDown fires (off the scheduler lock) when a stripe's
+	// write fails; the callback must not block for long and must not
+	// call back into the Sender.
+	OnStripeDown func(index int, err error)
+	// OnRebalance fires with the new weight vector after each
+	// throughput-driven rebalance.
+	OnRebalance func(weights []float64)
+	// OnReassign fires when a dead stripe's frames are requeued for
+	// other stripes.
+	OnReassign func(index, frames int)
+	// Logf, if set, receives debug lines.
+	Logf func(format string, args ...any)
+}
+
+type stripeState struct {
+	state    int
+	gen      int // bumped each Attach/Abandon; stale workers self-retire
+	w        io.Writer
+	queue    []frame // dispatched, not yet picked up by the worker
+	inflight bool
+	cur      frame   // frame the worker is writing right now
+	sent     []frame // frames written this generation (replayed on death)
+	bytes    int64   // payload bytes successfully written, all generations
+	weight   float64
+	credit   float64
+	ewmaBps  float64
+	lastErr  error
+}
+
+// Sender stripes src (of length total) across up to `stripes` attached
+// streams. The zero value is not usable; construct with NewSender, Attach
+// each stream (possibly concurrently with Run), and call Run once.
+//
+// Dispatching is deficit-round-robin: each eligible stripe accrues credit
+// proportional to its weight, and the frame goes to the stripe with the
+// most accumulated credit. A stripe whose queue is full accrues nothing,
+// so a stalling path sheds load to its peers instead of stalling the
+// group. There are no per-frame acknowledgements: when a stripe dies,
+// every frame of its current generation is requeued (the receiver drops
+// exact duplicates), and a replacement stream for the same index may be
+// attached at any time.
+type Sender struct {
+	group wire.SessionID
+	src   io.ReaderAt
+	total int64
+
+	frameSize      int
+	queueFrames    int
+	rebalanceBytes int64
+	onStripeDown   func(int, error)
+	onRebalance    func([]float64)
+	onReassign     func(int, int)
+	logf           func(string, ...any)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	stripes []*stripeState
+	phase   int
+	nextOff int64
+	requeue []frame
+	written int64 // payload bytes written across all stripes
+
+	sinceRebalance int64
+	rebalances     int64
+	reassigned     int64
+
+	running bool
+	done    bool
+	failErr error
+}
+
+// NewSender builds a scheduler for one stripe group.
+func NewSender(group wire.SessionID, src io.ReaderAt, total int64, stripes int, cfg SenderConfig) (*Sender, error) {
+	if stripes <= 0 || stripes > MaxStripes {
+		return nil, fmt.Errorf("stripe: %d stripes out of range", stripes)
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("stripe: negative total %d", total)
+	}
+	fs := cfg.FrameSize
+	if fs <= 0 {
+		fs = DefaultFrameSize
+	}
+	if fs > MaxFrameSize {
+		fs = MaxFrameSize
+	}
+	qf := cfg.QueueFrames
+	if qf <= 0 {
+		qf = DefaultQueueFrames
+	}
+	s := &Sender{
+		group:          group,
+		src:            src,
+		total:          total,
+		frameSize:      fs,
+		queueFrames:    qf,
+		rebalanceBytes: cfg.RebalanceBytes,
+		onStripeDown:   cfg.OnStripeDown,
+		onRebalance:    cfg.OnRebalance,
+		onReassign:     cfg.OnReassign,
+		logf:           cfg.Logf,
+		stripes:        make([]*stripeState, stripes),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := range s.stripes {
+		w := 1.0
+		if i < len(cfg.Weights) && cfg.Weights[i] > 0 {
+			w = cfg.Weights[i]
+		}
+		s.stripes[i] = &stripeState{state: stripeIdle, weight: w}
+	}
+	return s, nil
+}
+
+// Attach hands stripe `index` a fresh stream and starts (or restarts) its
+// writer. Valid on an idle stripe (initial attach) or a dead one (heal);
+// the new worker re-sends the group header and receives the dead
+// generation's requeued frames through normal dispatch.
+func (s *Sender) Attach(index int, w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if index < 0 || index >= len(s.stripes) {
+		return fmt.Errorf("stripe: attach index %d out of range", index)
+	}
+	st := s.stripes[index]
+	switch st.state {
+	case stripeIdle, stripeDead:
+	case stripeAbandoned:
+		return fmt.Errorf("stripe %d: attach after abandon", index)
+	default:
+		return fmt.Errorf("stripe %d: already attached", index)
+	}
+	st.gen++
+	st.w = w
+	st.state = stripeLive
+	st.credit = 0
+	st.lastErr = nil
+	go s.worker(index, st.gen)
+	s.cond.Broadcast()
+	return nil
+}
+
+// Abandon permanently retires a stripe (heal budget exhausted): its
+// outstanding frames are requeued for the surviving stripes and no
+// replacement may attach.
+func (s *Sender) Abandon(index int, err error) {
+	s.mu.Lock()
+	if index < 0 || index >= len(s.stripes) {
+		s.mu.Unlock()
+		return
+	}
+	st := s.stripes[index]
+	switch st.state {
+	case stripeAbandoned, stripeFinished:
+		s.mu.Unlock()
+		return
+	}
+	st.gen++ // retire any live worker
+	n := s.requeueStripeLocked(st)
+	st.state = stripeAbandoned
+	if err != nil {
+		st.lastErr = err
+	}
+	fire := s.onReassign
+	if s.done || n == 0 {
+		fire = nil
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if fire != nil {
+		fire(index, n)
+	}
+}
+
+// requeueStripeLocked moves a stripe's whole current generation —
+// inflight frame, queued frames, and frames already written but not
+// end-confirmed — back onto the global requeue, and reopens the data
+// phase if it had closed. The written-but-unconfirmed frames come off
+// the stripe's byte count: they died with the connection, and whichever
+// stripe rewrites them gets the credit, so StripeBytes always sums to
+// the delivered stream length.
+func (s *Sender) requeueStripeLocked(st *stripeState) int {
+	n := 0
+	if st.inflight {
+		s.requeue = append(s.requeue, st.cur)
+		st.inflight = false
+		n++
+	}
+	s.requeue = append(s.requeue, st.queue...)
+	n += len(st.queue)
+	st.queue = nil
+	for _, f := range st.sent {
+		st.bytes -= int64(f.n)
+	}
+	s.requeue = append(s.requeue, st.sent...)
+	n += len(st.sent)
+	st.sent = nil
+	if n > 0 {
+		s.reassigned += int64(n)
+		if s.phase == phaseEnd {
+			s.phase = phaseData
+		}
+	}
+	return n
+}
+
+// stripeDown records a write failure: the stripe becomes dead, its
+// generation's frames are requeued, and the OnStripeDown/OnReassign
+// callbacks fire so a healing engine can dial a replacement.
+func (s *Sender) stripeDown(index, gen int, err error) {
+	s.mu.Lock()
+	st := s.stripes[index]
+	if st.gen != gen || s.done {
+		s.mu.Unlock()
+		return
+	}
+	st.state = stripeDead
+	st.lastErr = err
+	n := s.requeueStripeLocked(st)
+	down, reassign := s.onStripeDown, s.onReassign
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if s.logf != nil {
+		s.logf("stripe %d down after %d reassigned frames: %v", index, n, err)
+	}
+	if down != nil {
+		down(index, err)
+	}
+	if reassign != nil && n > 0 {
+		reassign(index, n)
+	}
+}
+
+// fail aborts the whole group (source read error, context cancellation).
+func (s *Sender) fail(err error) {
+	s.mu.Lock()
+	if s.failErr == nil && !s.done {
+		s.failErr = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// worker drains one stripe's queue onto its stream. It retires itself
+// when its generation is superseded by a re-Attach or Abandon.
+func (s *Sender) worker(index, gen int) {
+	st := s.stripes[index]
+	s.mu.Lock()
+	w := st.w
+	s.mu.Unlock()
+
+	gh := &GroupHeader{
+		Group:    s.group,
+		Index:    uint8(index),
+		Count:    uint8(len(s.stripes)),
+		TotalLen: uint64(s.total),
+	}
+	if _, err := w.Write(gh.Encode()); err != nil {
+		s.stripeDown(index, gen, fmt.Errorf("group header: %w", err))
+		return
+	}
+
+	for {
+		s.mu.Lock()
+		for {
+			if st.gen != gen || s.failErr != nil || s.done {
+				s.mu.Unlock()
+				return
+			}
+			if len(st.queue) > 0 {
+				break
+			}
+			if s.phase == phaseEnd && !st.inflight {
+				// Commit to the end frame before unlocking so the
+				// dispatcher cannot hand this stripe more data if
+				// another stripe's death reopens the data phase.
+				st.state = stripeEnding
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				if err := writeFrame(w, uint64(s.total), nil); err != nil {
+					s.stripeDown(index, gen, fmt.Errorf("end frame: %w", err))
+					return
+				}
+				s.mu.Lock()
+				if st.gen == gen {
+					st.state = stripeFinished
+					s.cond.Broadcast()
+				}
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+		}
+		f := st.queue[0]
+		st.queue = st.queue[1:]
+		st.inflight = true
+		st.cur = f
+		s.cond.Broadcast() // queue slot freed
+		s.mu.Unlock()
+
+		buf := make([]byte, f.n)
+		if _, err := s.src.ReadAt(buf, f.off); err != nil {
+			// A source failure dooms every stripe, not just this one.
+			s.fail(fmt.Errorf("stripe: read source at %d: %w", f.off, err))
+			return
+		}
+		start := time.Now()
+		err := writeFrame(w, uint64(f.off), buf)
+		elapsed := time.Since(start)
+		if err != nil {
+			s.stripeDown(index, gen, err)
+			return
+		}
+
+		var rebalanced []float64
+		s.mu.Lock()
+		if st.gen != gen {
+			// Abandon requeued cur already; the duplicate the receiver
+			// may see is dropped there.
+			s.mu.Unlock()
+			return
+		}
+		st.inflight = false
+		st.sent = append(st.sent, f)
+		st.bytes += int64(f.n)
+		s.written += int64(f.n)
+		if sec := elapsed.Seconds(); sec > 0 {
+			bps := float64(f.n) / sec
+			if st.ewmaBps == 0 {
+				st.ewmaBps = bps
+			} else {
+				st.ewmaBps = 0.7*st.ewmaBps + 0.3*bps
+			}
+		}
+		s.sinceRebalance += int64(f.n)
+		if s.rebalanceBytes > 0 && s.sinceRebalance >= s.rebalanceBytes {
+			rebalanced = s.rebalanceLocked()
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if rebalanced != nil && s.onRebalance != nil {
+			s.onRebalance(rebalanced)
+		}
+	}
+}
+
+// rebalanceLocked resets each live stripe's weight to its observed
+// throughput EWMA, so the credit dispatcher tracks what the paths are
+// actually delivering rather than what the planner predicted.
+func (s *Sender) rebalanceLocked() []float64 {
+	s.sinceRebalance = 0
+	sampled := false
+	for _, st := range s.stripes {
+		if st.state == stripeLive && st.ewmaBps > 0 {
+			sampled = true
+			break
+		}
+	}
+	if !sampled {
+		return nil
+	}
+	out := make([]float64, len(s.stripes))
+	for i, st := range s.stripes {
+		if st.state == stripeLive && st.ewmaBps > 0 {
+			st.weight = st.ewmaBps
+		}
+		out[i] = st.weight
+	}
+	s.rebalances++
+	if s.logf != nil {
+		s.logf("stripe rebalance #%d: weights %v", s.rebalances, out)
+	}
+	return out
+}
+
+// pickStripeLocked runs the deficit-round-robin credit round for a frame
+// of n bytes and returns the chosen stripe index, or -1 if no live stripe
+// has queue space.
+func (s *Sender) pickStripeLocked(n int) int {
+	var elig []int
+	maxW := 0.0
+	for i, st := range s.stripes {
+		inflight := 0
+		if st.inflight {
+			inflight = 1
+		}
+		if st.state == stripeLive && len(st.queue)+inflight < s.queueFrames {
+			elig = append(elig, i)
+			if st.weight > maxW {
+				maxW = st.weight
+			}
+		}
+	}
+	if len(elig) == 0 {
+		return -1
+	}
+	if maxW <= 0 {
+		maxW = 1
+	}
+	need := float64(n)
+	for rounds := 0; ; rounds++ {
+		best, bestCredit := -1, math.Inf(-1)
+		for _, i := range elig {
+			if c := s.stripes[i].credit; c >= need && c > bestCredit {
+				best, bestCredit = i, c
+			}
+		}
+		if best >= 0 {
+			s.stripes[best].credit -= need
+			return best
+		}
+		// Top up: the heaviest stripe gains a full frame per round, so
+		// this terminates quickly; the bound is sheer paranoia.
+		for _, i := range elig {
+			w := s.stripes[i].weight
+			if w <= 0 {
+				w = 1e-3
+			}
+			s.stripes[i].credit += w / maxW * need
+		}
+		if rounds > 1<<20 {
+			return elig[0]
+		}
+	}
+}
+
+// Run dispatches every frame, then drains end frames, returning once all
+// stripes have either finished or been abandoned with their frames
+// delivered elsewhere. It may be called once.
+func (s *Sender) Run(ctx context.Context) error {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return fmt.Errorf("stripe: Run called twice")
+	}
+	s.running = true
+	s.mu.Unlock()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.fail(ctx.Err())
+		case <-stop:
+		}
+	}()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.failErr != nil {
+			s.done = true
+			s.cond.Broadcast()
+			return s.failErr
+		}
+		var f frame
+		have := false
+		if len(s.requeue) > 0 {
+			f, have = s.requeue[0], true
+		} else if s.nextOff < s.total {
+			n := s.frameSize
+			if rem := s.total - s.nextOff; rem < int64(n) {
+				n = int(rem)
+			}
+			f, have = frame{off: s.nextOff, n: n}, true
+		}
+		if have {
+			if i := s.pickStripeLocked(f.n); i >= 0 {
+				if len(s.requeue) > 0 {
+					s.requeue = s.requeue[1:]
+				} else {
+					s.nextOff += int64(f.n)
+				}
+				s.stripes[i].queue = append(s.stripes[i].queue, f)
+				s.cond.Broadcast()
+				continue
+			}
+			if s.stuckLocked() {
+				s.done = true
+				s.cond.Broadcast()
+				return fmt.Errorf("stripe: frames remain but every stripe is finished or abandoned (%w)", s.firstStripeErrLocked())
+			}
+			s.cond.Wait()
+			continue
+		}
+		if s.phase == phaseData && s.quiescentLocked() {
+			s.phase = phaseEnd
+			s.cond.Broadcast()
+			continue
+		}
+		if s.phase == phaseEnd && s.drainedLocked() {
+			s.done = true
+			s.cond.Broadcast()
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// quiescentLocked reports that every payload byte has been written by
+// some stripe: nothing queued, nothing inflight, nothing requeued.
+func (s *Sender) quiescentLocked() bool {
+	if s.nextOff < s.total || len(s.requeue) > 0 {
+		return false
+	}
+	for _, st := range s.stripes {
+		if len(st.queue) > 0 || st.inflight {
+			return false
+		}
+	}
+	return true
+}
+
+// drainedLocked reports that every stripe reached a terminal state.
+func (s *Sender) drainedLocked() bool {
+	for _, st := range s.stripes {
+		if st.state != stripeFinished && st.state != stripeAbandoned {
+			return false
+		}
+	}
+	return true
+}
+
+// stuckLocked reports that no stripe can ever make progress again:
+// none idle (could attach), live, ending (could still die and heal), or
+// dead (could be healed).
+func (s *Sender) stuckLocked() bool {
+	for _, st := range s.stripes {
+		switch st.state {
+		case stripeIdle, stripeLive, stripeEnding, stripeDead:
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Sender) firstStripeErrLocked() error {
+	for _, st := range s.stripes {
+		if st.lastErr != nil {
+			return st.lastErr
+		}
+	}
+	return fmt.Errorf("no stripe error recorded")
+}
+
+// ReplayStripe re-sends stripe index's final generation — group header,
+// every frame it had written, and the end frame — onto a fresh stream.
+// It is the post-Run heal path: if confirming a stripe's delivery fails
+// after Run returned, the caller dials a replacement and replays; the
+// receiver drops whatever it already holds.
+func (s *Sender) ReplayStripe(index int, w io.Writer) error {
+	s.mu.Lock()
+	if index < 0 || index >= len(s.stripes) {
+		s.mu.Unlock()
+		return fmt.Errorf("stripe: replay index %d out of range", index)
+	}
+	st := s.stripes[index]
+	frames := append([]frame(nil), st.sent...)
+	s.mu.Unlock()
+
+	gh := &GroupHeader{
+		Group:    s.group,
+		Index:    uint8(index),
+		Count:    uint8(len(s.stripes)),
+		TotalLen: uint64(s.total),
+	}
+	if _, err := w.Write(gh.Encode()); err != nil {
+		return fmt.Errorf("stripe %d replay: group header: %w", index, err)
+	}
+	buf := make([]byte, s.frameSize)
+	for _, f := range frames {
+		if f.n > len(buf) {
+			buf = make([]byte, f.n)
+		}
+		if _, err := s.src.ReadAt(buf[:f.n], f.off); err != nil {
+			return fmt.Errorf("stripe %d replay: read source at %d: %w", index, f.off, err)
+		}
+		if err := writeFrame(w, uint64(f.off), buf[:f.n]); err != nil {
+			return fmt.Errorf("stripe %d replay: %w", index, err)
+		}
+	}
+	if err := writeFrame(w, uint64(s.total), nil); err != nil {
+		return fmt.Errorf("stripe %d replay: end frame: %w", index, err)
+	}
+	return nil
+}
+
+// SetWeight overrides one stripe's dispatch weight mid-flow.
+func (s *Sender) SetWeight(index int, w float64) {
+	s.mu.Lock()
+	if index >= 0 && index < len(s.stripes) && w > 0 {
+		s.stripes[index].weight = w
+	}
+	s.mu.Unlock()
+}
+
+// Weights returns the current per-stripe dispatch weights.
+func (s *Sender) Weights() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, len(s.stripes))
+	for i, st := range s.stripes {
+		out[i] = st.weight
+	}
+	return out
+}
+
+// StripeBytes returns payload bytes delivered per stripe: frames a dead
+// connection took down are credited to the stripe that rewrote them, so
+// after a complete run the values sum to the stream length.
+func (s *Sender) StripeBytes() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.stripes))
+	for i, st := range s.stripes {
+		out[i] = st.bytes
+	}
+	return out
+}
+
+// Written returns total payload bytes written across all stripes
+// (replayed frames count once per write).
+func (s *Sender) Written() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.written
+}
+
+// Rebalances returns how many throughput-driven weight recomputations
+// have happened.
+func (s *Sender) Rebalances() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rebalances
+}
+
+// Reassigned returns how many frames have been requeued off dead or
+// abandoned stripes.
+func (s *Sender) Reassigned() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reassigned
+}

@@ -1,0 +1,460 @@
+package stripe
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lsl/internal/wire"
+)
+
+var errInjectedWrite = errors.New("injected write failure")
+
+// failAfter refuses writes once n bytes have passed through, and poisons
+// the pipe's read side so the receiver sees the break too.
+type failAfter struct {
+	pw *io.PipeWriter
+	n  int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n-len(p) < 0 {
+		f.pw.CloseWithError(errInjectedWrite)
+		return 0, errInjectedWrite
+	}
+	f.n -= len(p)
+	return f.pw.Write(p)
+}
+
+// slowWriter adds a fixed delay per write so per-frame throughput samples
+// are measurable on any clock.
+type slowWriter struct {
+	buf   bytes.Buffer
+	delay time.Duration
+}
+
+func (s *slowWriter) Write(p []byte) (int, error) {
+	time.Sleep(s.delay)
+	return s.buf.Write(p)
+}
+
+func TestSenderRoundTrip(t *testing.T) {
+	payload := make([]byte, 1<<20)
+	rand.New(rand.NewSource(11)).Read(payload)
+
+	const n = 3
+	var out bytes.Buffer
+	recv := NewReceiver(&out)
+	snd, err := NewSender(wire.NewSessionID(), bytes.NewReader(payload), int64(len(payload)), n,
+		SenderConfig{FrameSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	attachErrs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		pr, pw := io.Pipe()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if aerr := recv.Attach(pr); aerr != nil {
+				attachErrs <- aerr
+			}
+		}()
+		if err := snd.Attach(i, pw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := snd.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(attachErrs)
+	for aerr := range attachErrs {
+		t.Fatal(aerr)
+	}
+	if !recv.Complete() {
+		t.Fatalf("incomplete: %d of %d", recv.Written(), len(payload))
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("payload mismatch")
+	}
+	var sum int64
+	for _, b := range snd.StripeBytes() {
+		if b == 0 {
+			t.Fatal("a stripe carried no bytes")
+		}
+		sum += b
+	}
+	if sum != int64(len(payload)) {
+		t.Fatalf("stripe bytes sum %d, want %d", sum, len(payload))
+	}
+}
+
+func TestSenderEmptyPayload(t *testing.T) {
+	var out bytes.Buffer
+	recv := NewReceiver(&out)
+	snd, err := NewSender(wire.NewSessionID(), bytes.NewReader(nil), 0, 2, SenderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		pr, pw := io.Pipe()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if aerr := recv.Attach(pr); aerr != nil {
+				t.Error(aerr)
+			}
+		}()
+		if err := snd.Attach(i, pw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := snd.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if !recv.Complete() {
+		t.Fatal("empty transfer incomplete")
+	}
+}
+
+// TestSenderHealsDeadStripe kills one stripe mid-flow, attaches a
+// replacement stream for the same index, and expects the requeued frames
+// to arrive byte-exact through the healed stripe.
+func TestSenderHealsDeadStripe(t *testing.T) {
+	payload := make([]byte, 1<<20)
+	rand.New(rand.NewSource(12)).Read(payload)
+
+	var out bytes.Buffer
+	recv := NewReceiver(&out)
+	downCh := make(chan int, 8)
+	snd, err := NewSender(wire.NewSessionID(), bytes.NewReader(payload), int64(len(payload)), 3,
+		SenderConfig{
+			FrameSize:    8 << 10,
+			QueueFrames:  2,
+			OnStripeDown: func(i int, err error) { downCh <- i },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	attach := func(i, failAt int) {
+		pr, pw := io.Pipe()
+		var w io.Writer = pw
+		if failAt > 0 {
+			w = &failAfter{pw: pw, n: failAt}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			recv.Attach(pr) // the dying stripe's error is expected
+		}()
+		if err := snd.Attach(i, w); err != nil {
+			t.Error(err)
+		}
+	}
+	attach(0, 0)
+	attach(1, 200<<10) // dies partway through
+	attach(2, 0)
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- snd.Run(context.Background()) }()
+
+	select {
+	case idx := <-downCh:
+		if idx != 1 {
+			t.Errorf("stripe %d down, expected 1", idx)
+		}
+		attach(idx, 0) // heal with a fresh stream
+	case <-time.After(10 * time.Second):
+		t.Fatal("stripe never died")
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Run hung after heal")
+	}
+	wg.Wait()
+	if !recv.Complete() {
+		t.Fatalf("incomplete after heal: %d of %d", recv.Written(), len(payload))
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("payload mismatch after heal")
+	}
+	if snd.Reassigned() == 0 {
+		t.Fatal("death reassigned no frames")
+	}
+}
+
+// TestSenderAbandonRedistributes gives up on a dead stripe entirely; the
+// survivors must deliver its frames.
+func TestSenderAbandonRedistributes(t *testing.T) {
+	payload := make([]byte, 512<<10)
+	rand.New(rand.NewSource(13)).Read(payload)
+
+	var out bytes.Buffer
+	recv := NewReceiver(&out)
+	downCh := make(chan int, 8)
+	snd, err := NewSender(wire.NewSessionID(), bytes.NewReader(payload), int64(len(payload)), 2,
+		SenderConfig{
+			FrameSize:    8 << 10,
+			QueueFrames:  2,
+			OnStripeDown: func(i int, err error) { downCh <- i },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	attach := func(i, failAt int) {
+		pr, pw := io.Pipe()
+		var w io.Writer = pw
+		if failAt > 0 {
+			w = &failAfter{pw: pw, n: failAt}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			recv.Attach(pr)
+		}()
+		if err := snd.Attach(i, w); err != nil {
+			t.Error(err)
+		}
+	}
+	attach(0, 0)
+	attach(1, 64<<10)
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- snd.Run(context.Background()) }()
+	select {
+	case idx := <-downCh:
+		snd.Abandon(idx, errInjectedWrite)
+	case <-time.After(10 * time.Second):
+		t.Fatal("stripe never died")
+	}
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if !recv.Complete() || !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("survivor did not deliver the abandoned stripe's frames")
+	}
+	if err := snd.Attach(1, &bytes.Buffer{}); err == nil {
+		t.Fatal("attach after abandon accepted")
+	}
+}
+
+// TestSenderAllAbandonedFails: once every stripe is gone with frames
+// outstanding, Run must fail instead of hanging.
+func TestSenderAllAbandonedFails(t *testing.T) {
+	payload := make([]byte, 256<<10)
+	rand.New(rand.NewSource(14)).Read(payload)
+	snd, err := NewSender(wire.NewSessionID(), bytes.NewReader(payload), int64(len(payload)), 1,
+		SenderConfig{FrameSize: 8 << 10, QueueFrames: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, pw := io.Pipe()
+	fw := &failAfter{pw: pw, n: 32 << 10}
+	go io.Copy(io.Discard, pr)
+	if err := snd.Attach(0, fw); err != nil {
+		t.Fatal(err)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- snd.Run(context.Background()) }()
+	time.Sleep(50 * time.Millisecond) // let it die
+	snd.Abandon(0, nil)
+	select {
+	case err := <-runErr:
+		if err == nil {
+			t.Fatal("Run returned nil with undelivered frames")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run hung with every stripe abandoned")
+	}
+}
+
+func TestSenderContextCancel(t *testing.T) {
+	payload := make([]byte, 1<<20)
+	snd, err := NewSender(wire.NewSessionID(), bytes.NewReader(payload), int64(len(payload)), 1,
+		SenderConfig{FrameSize: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, pw := io.Pipe()
+	defer pr.Close()
+	if err := snd.Attach(0, pw); err != nil {
+		t.Fatal(err)
+	}
+	// Nobody reads pr, so the worker blocks on the pipe; cancel must
+	// still unblock Run.
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- snd.Run(ctx) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-runErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run ignored cancellation")
+	}
+}
+
+// TestSenderWeightedDispatch checks the credit dispatcher splits load
+// proportionally to the configured weights. QueueFrames exceeds the total
+// frame count so per-stripe backpressure never constrains eligibility and
+// the credit math alone decides the split.
+func TestSenderWeightedDispatch(t *testing.T) {
+	payload := make([]byte, 1<<20)
+	rand.New(rand.NewSource(15)).Read(payload)
+	var b0, b1 bytes.Buffer
+	snd, err := NewSender(wire.NewSessionID(), bytes.NewReader(payload), int64(len(payload)), 2,
+		SenderConfig{FrameSize: 16 << 10, Weights: []float64{3, 1}, QueueFrames: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snd.Attach(0, &b0); err != nil {
+		t.Fatal(err)
+	}
+	if err := snd.Attach(1, &b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := snd.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sb := snd.StripeBytes()
+	if sb[0] < 2*sb[1] {
+		t.Fatalf("weight 3:1 produced split %d:%d", sb[0], sb[1])
+	}
+	// The streams must still reassemble.
+	var out bytes.Buffer
+	recv := NewReceiver(&out)
+	if err := recv.Attach(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Attach(&b0); err != nil {
+		t.Fatal(err)
+	}
+	if !recv.Complete() || !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("weighted streams did not reassemble")
+	}
+}
+
+// TestSenderRebalances drives enough bytes through asymmetric stripes to
+// trigger throughput-driven weight recomputation.
+func TestSenderRebalances(t *testing.T) {
+	payload := make([]byte, 1<<20)
+	rand.New(rand.NewSource(16)).Read(payload)
+	fast := &slowWriter{delay: 200 * time.Microsecond}
+	slow := &slowWriter{delay: 2 * time.Millisecond}
+	var calls atomic.Int64
+	snd, err := NewSender(wire.NewSessionID(), bytes.NewReader(payload), int64(len(payload)), 2,
+		SenderConfig{
+			FrameSize:      16 << 10,
+			RebalanceBytes: 128 << 10,
+			OnRebalance:    func([]float64) { calls.Add(1) },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snd.Attach(0, fast); err != nil {
+		t.Fatal(err)
+	}
+	if err := snd.Attach(1, slow); err != nil {
+		t.Fatal(err)
+	}
+	if err := snd.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if snd.Rebalances() == 0 || calls.Load() == 0 {
+		t.Fatalf("no rebalance recorded (rebalances=%d calls=%d)", snd.Rebalances(), calls.Load())
+	}
+	// Rebalanced weights must favor the faster stripe.
+	w := snd.Weights()
+	if w[0] <= w[1] {
+		t.Fatalf("rebalance did not favor the fast stripe: %v", w)
+	}
+	sb := snd.StripeBytes()
+	if sb[0] <= sb[1] {
+		t.Fatalf("fast stripe carried %d <= slow stripe %d", sb[0], sb[1])
+	}
+	var out bytes.Buffer
+	recv := NewReceiver(&out)
+	if err := recv.Attach(&fast.buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Attach(&slow.buf); err != nil {
+		t.Fatal(err)
+	}
+	if !recv.Complete() || !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("rebalanced streams did not reassemble")
+	}
+}
+
+// TestReplayStripeDedup replays a finished stripe onto a fresh stream —
+// the receiver must drop every duplicate and stay complete.
+func TestReplayStripeDedup(t *testing.T) {
+	payload := make([]byte, 256<<10)
+	rand.New(rand.NewSource(17)).Read(payload)
+	var b0, b1 bytes.Buffer
+	snd, err := NewSender(wire.NewSessionID(), bytes.NewReader(payload), int64(len(payload)), 2,
+		SenderConfig{FrameSize: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd.Attach(0, &b0)
+	snd.Attach(1, &b1)
+	if err := snd.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	recv := NewReceiver(&out)
+	if err := recv.Attach(&b0); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Attach(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if !recv.Complete() {
+		t.Fatal("incomplete before replay")
+	}
+	var replay bytes.Buffer
+	if err := snd.ReplayStripe(0, &replay); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Attach(&replay); err != nil {
+		t.Fatalf("replayed stream rejected: %v", err)
+	}
+	if !recv.Complete() || !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("replay corrupted the reassembled stream")
+	}
+}
+
+func TestSenderRunTwice(t *testing.T) {
+	snd, err := NewSender(wire.NewSessionID(), bytes.NewReader(nil), 0, 1, SenderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	snd.Attach(0, &b)
+	if err := snd.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := snd.Run(context.Background()); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}

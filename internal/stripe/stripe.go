@@ -33,6 +33,14 @@ const (
 	MaxStripes = 32
 	// DefaultFrameSize is the striping granularity.
 	DefaultFrameSize = 256 << 10
+	// MaxFrameSize bounds a frame's declared payload length. The frame
+	// length field arrives from the network; without a cap a corrupt or
+	// hostile stream could make the receiver allocate 4 GiB per frame.
+	MaxFrameSize = 8 << 20
+	// DefaultMaxPending bounds the receiver's out-of-order reassembly
+	// buffer: a fast stripe running ahead of the contiguous prefix may
+	// buffer at most this many bytes before the group is failed.
+	DefaultMaxPending = 256 << 20
 	// groupHeaderLen: magic(4) version(1) group(16) index(1) count(1) total(8).
 	groupHeaderLen = 31
 	frameHeaderLen = 12
@@ -45,6 +53,13 @@ var (
 	ErrBadGroupHeader = errors.New("stripe: bad group header")
 	ErrFrameOverlap   = errors.New("stripe: overlapping or duplicate frame")
 	ErrShortStream    = errors.New("stripe: stream ended before declared length")
+	// ErrFrameTooLarge reports a frame whose declared length exceeds
+	// MaxFrameSize — the stream is corrupt or hostile.
+	ErrFrameTooLarge = errors.New("stripe: frame length over MaxFrameSize")
+	// ErrPendingOverflow reports that out-of-order frames beyond the
+	// contiguous prefix exceeded the receiver's pending-bytes limit
+	// (one stripe is running too far ahead of a stalled one).
+	ErrPendingOverflow = errors.New("stripe: pending reassembly buffer over limit")
 )
 
 // GroupHeader opens each stripe stream.
@@ -100,13 +115,20 @@ func writeFrame(w io.Writer, offset uint64, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame header and returns (offset, length).
+// readFrame reads one frame header and returns (offset, length). The
+// length field is untrusted network input: anything above MaxFrameSize is
+// rejected before a buffer of that size can be allocated.
 func readFrame(r io.Reader) (uint64, uint32, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, 0, err
 	}
-	return binary.BigEndian.Uint64(hdr[0:8]), binary.BigEndian.Uint32(hdr[8:12]), nil
+	off := binary.BigEndian.Uint64(hdr[0:8])
+	length := binary.BigEndian.Uint32(hdr[8:12])
+	if length > MaxFrameSize {
+		return 0, 0, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, length, MaxFrameSize)
+	}
+	return off, length, nil
 }
 
 // Send stripes src (of length total) across the given writers, frame by
@@ -124,6 +146,9 @@ func Send(group wire.SessionID, writers []io.Writer, src io.Reader, total int64,
 	}
 	if frameSize <= 0 {
 		frameSize = DefaultFrameSize
+	}
+	if frameSize > MaxFrameSize {
+		frameSize = MaxFrameSize
 	}
 	for i, w := range writers {
 		gh := &GroupHeader{Group: group, Index: uint8(i), Count: uint8(n), TotalLen: uint64(total)}
@@ -165,23 +190,48 @@ func Send(group wire.SessionID, writers []io.Writer, src io.Reader, total int64,
 // Receiver reassembles one stripe group into a contiguous stream. Attach
 // may be called concurrently from one goroutine per stripe; reassembly is
 // serialized internally.
+//
+// The receiver survives stripe death: a replacement stream for the same
+// stripe index may attach at any time (it re-sends the group header), and
+// frames it replays that the receiver already holds — flushed or pending —
+// are dropped silently. This is what makes sender-side stripe healing
+// possible without per-frame acknowledgements.
 type Receiver struct {
 	mu      sync.Mutex
 	Header  *GroupHeader // from the first stripe attached
 	total   int64
 	written int64
 	// pending frames beyond the contiguous prefix, keyed by offset.
-	pending map[int64][]byte
+	pending      map[int64][]byte
+	pendingBytes int64
+	maxPending   int64
+	// flushed records each flushed frame's offset -> length so a healed
+	// stripe's exact replays can be told apart from corrupt overlaps.
+	flushed map[int64]int32
 	out     io.Writer
 	joined  int
 }
 
 // NewReceiver builds a reassembler writing the logical stream into out.
+// The out-of-order buffer is capped at DefaultMaxPending bytes; tune it
+// with SetMaxPending.
 func NewReceiver(out io.Writer) *Receiver {
 	return &Receiver{
-		pending: make(map[int64][]byte),
-		out:     out,
+		pending:    make(map[int64][]byte),
+		flushed:    make(map[int64]int32),
+		maxPending: DefaultMaxPending,
+		out:        out,
 	}
+}
+
+// SetMaxPending bounds the bytes buffered beyond the contiguous prefix
+// (frames from fast stripes waiting on a slow one). Ingesting past the
+// limit fails the group with ErrPendingOverflow. n <= 0 removes the
+// limit. Call before attaching streams.
+func (r *Receiver) SetMaxPending(n int64) {
+	r.mu.Lock()
+	r.maxPending = n
+	r.mu.Unlock()
 }
 
 // Attach consumes one stripe stream (blocking) and feeds its frames into
@@ -233,16 +283,33 @@ func (r *Receiver) register(gh *GroupHeader) error {
 }
 
 // ingest adds a frame, flushing any newly contiguous prefix.
+//
+// Replays are tolerated: healing a dead stripe re-sends every frame of its
+// last generation, so a frame wholly inside the flushed prefix, or equal in
+// length to a buffered pending frame at the same offset, is silently
+// dropped. Partial overlaps still fail — frame boundaries are fixed when
+// the sender dispatches them, so a mismatched boundary means corruption,
+// not healing.
 func (r *Receiver) ingest(off int64, payload []byte) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if off < r.written || (off != r.written && r.pending[off] != nil) {
+	if off < r.written {
+		if n, ok := r.flushed[off]; ok && int(n) == len(payload) {
+			return nil // exact replay of an already-flushed frame
+		}
+		return ErrFrameOverlap
+	}
+	if prev, ok := r.pending[off]; ok {
+		if len(prev) == len(payload) {
+			return nil // replay of a buffered frame
+		}
 		return ErrFrameOverlap
 	}
 	if off == r.written {
 		if _, err := r.out.Write(payload); err != nil {
 			return err
 		}
+		r.flushed[off] = int32(len(payload))
 		r.written += int64(len(payload))
 		for {
 			next, ok := r.pending[r.written]
@@ -250,14 +317,21 @@ func (r *Receiver) ingest(off int64, payload []byte) error {
 				break
 			}
 			delete(r.pending, r.written)
+			r.pendingBytes -= int64(len(next))
 			if _, err := r.out.Write(next); err != nil {
 				return err
 			}
+			r.flushed[r.written] = int32(len(next))
 			r.written += int64(len(next))
 		}
 		return nil
 	}
+	if r.maxPending > 0 && r.pendingBytes+int64(len(payload)) > r.maxPending {
+		return fmt.Errorf("%w: %d + %d > %d", ErrPendingOverflow,
+			r.pendingBytes, len(payload), r.maxPending)
+	}
 	r.pending[off] = payload
+	r.pendingBytes += int64(len(payload))
 	return nil
 }
 

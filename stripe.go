@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"lsl/internal/core"
+	"lsl/internal/resilience"
 	"lsl/internal/stripe"
 	"lsl/internal/wire"
 )
@@ -25,30 +26,98 @@ type StripeReceiver = stripe.Receiver
 // NewStripeReceiver builds a reassembler writing the logical stream to out.
 func NewStripeReceiver(out io.Writer) *StripeReceiver { return stripe.NewReceiver(out) }
 
-// StripedSend opens one session per route and stripes total bytes from src
-// across them with frame granularity frameSize (<=0 uses the default).
-// Integrity of the logical stream rides on per-frame offsets plus TCP
-// checksums; the per-session MD5 trailer is not used in striped mode
-// because stripe lengths are data-dependent.
+// StripedTransferResult reports how a striped transfer was achieved:
+// per-stripe routes and byte counts, heals, replans, abandonments, and
+// mid-flow weight rebalances.
+type StripedTransferResult = resilience.StripedResult
+
+// StripedTransferMetrics is the striped engine's counter set
+// (lsl_stripe_*); register one on your own MetricsRegistry with
+// NewStripedTransferMetrics, or let transfers default to
+// TransferMetricsRegistry.
+type StripedTransferMetrics = resilience.StripedMetrics
+
+// NewStripedTransferMetrics registers the lsl_stripe_* counter families
+// on reg.
+func NewStripedTransferMetrics(reg *MetricsRegistry) *StripedTransferMetrics {
+	return resilience.NewStripedMetrics(reg)
+}
+
+// Striped transfer options, re-exported (they compose with the
+// WithTransfer* options in lsl.go).
+var (
+	// WithStripes sets the stripe fan-out (default: one per route).
+	WithStripes = resilience.WithStripes
+	// WithStripeFrameSize sets the striping granularity in bytes.
+	WithStripeFrameSize = resilience.WithFrameSize
+	// WithStripeQueueFrames bounds frames queued per stripe ahead of its
+	// writer (backpressure granularity).
+	WithStripeQueueFrames = resilience.WithQueueFrames
+	// WithStripeRebalanceBytes recomputes stripe weights from observed
+	// throughput every n bytes written (<= 0 disables).
+	WithStripeRebalanceBytes = resilience.WithRebalanceBytes
+	// WithStripedTransferMetrics directs the lsl_stripe_* counters at a
+	// custom set.
+	WithStripedTransferMetrics = resilience.WithStripedMetrics
+)
+
+// StripedTransfer delivers size bytes from src across concurrent stripe
+// sessions on the given routes and heals individual stripes through
+// transient failures: a stripe that dies mid-flow is re-dialed (replanned
+// onto the next-best link-disjoint route when WithPlanner supplies a
+// logistics planner) and its in-flight frames are reassigned; a stripe
+// whose retry budget runs out is abandoned and its share flows through
+// the survivors. With a planner, the routes argument is a fallback — the
+// planner proposes up to WithStripes(n) link-disjoint routes weighted by
+// predicted throughput. src must support concurrent ReadAt. Receive with
+// StripedReceive (or a StripeReceiver).
+func StripedTransfer(ctx context.Context, routes []Route, src io.ReaderAt, size int64, opts ...TransferOption) (*StripedTransferResult, error) {
+	return resilience.StripedTransfer(ctx, routes, src, size, opts...)
+}
+
+// StripedSend opens one session per route (dialed concurrently) and
+// stripes total bytes from src across them with frame granularity
+// frameSize (<=0 uses the default). Integrity of the logical stream
+// rides on per-frame offsets plus TCP checksums; the per-session MD5
+// trailer is not used in striped mode because stripe lengths are
+// data-dependent. StripedSend does not heal failures — use
+// StripedTransfer for the self-healing engine.
 func StripedSend(ctx context.Context, routes []Route, src io.Reader, total int64, frameSize int, opts ...Option) error {
 	if len(routes) == 0 {
 		return fmt.Errorf("lsl: striped send needs at least one route")
 	}
 	group := wire.NewSessionID()
-	conns := make([]*core.Conn, 0, len(routes))
+	conns := make([]*core.Conn, len(routes))
 	defer func() {
 		for _, c := range conns {
-			c.Close()
+			if c != nil {
+				c.Close()
+			}
 		}
 	}()
-	writers := make([]io.Writer, 0, len(routes))
+	var wg sync.WaitGroup
+	dialErrs := make([]error, len(routes))
 	for i, r := range routes {
-		c, err := core.Dial(ctx, r, opts...)
+		wg.Add(1)
+		go func(i int, r Route) {
+			defer wg.Done()
+			c, err := core.Dial(ctx, r, opts...)
+			if err != nil {
+				dialErrs[i] = fmt.Errorf("lsl: stripe %d: %w", i, err)
+				return
+			}
+			conns[i] = c
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range dialErrs {
 		if err != nil {
-			return fmt.Errorf("lsl: stripe %d: %w", i, err)
+			return err
 		}
-		conns = append(conns, c)
-		writers = append(writers, c)
+	}
+	writers := make([]io.Writer, len(conns))
+	for i, c := range conns {
+		writers[i] = c
 	}
 	if err := stripe.Send(group, writers, src, total, frameSize); err != nil {
 		return err
@@ -61,48 +130,67 @@ func StripedSend(ctx context.Context, routes []Route, src io.Reader, total int64
 	return nil
 }
 
-// StripedReceive accepts stripes sessions from ln and reassembles the
-// logical stream into out, returning the byte count.
+// StripedReceive accepts a stripe group's sessions from ln and
+// reassembles the logical stream into out, returning the byte count. It
+// keeps accepting until the stream is byte-complete, so a healed stripe's
+// replacement session (which replays the dead stripe's frames; duplicates
+// are dropped) joins the same group — stream errors on individual
+// sessions are tolerated as long as the group completes. The stripes
+// argument sizes internal buffers only; the group header carries the
+// authoritative count. An accept error before completion cancels the
+// group.
 func StripedReceive(ln *Listener, stripes int, out io.Writer) (int64, error) {
 	recv := stripe.NewReceiver(out)
-	var wg sync.WaitGroup
-	errs := make(chan error, stripes)
+	done := make(chan struct{})
+	var once sync.Once
+	acceptErrCh := make(chan error, 1)
+	var mu sync.Mutex
 	var conns []*ServerConn
-	var acceptErr error
-	for i := 0; i < stripes; i++ {
-		sc, err := ln.Accept()
-		if err != nil {
-			acceptErr = err
-			break
-		}
-		conns = append(conns, sc)
-		wg.Add(1)
-		go func(sc *ServerConn) {
-			defer wg.Done()
-			defer sc.Close()
-			if err := recv.Attach(sc); err != nil {
-				errs <- err
+	var wg sync.WaitGroup
+	go func() {
+		for {
+			sc, err := ln.Accept()
+			if err != nil {
+				acceptErrCh <- err
+				return
 			}
-		}(sc)
-	}
-	if acceptErr != nil {
-		// A mid-group accept failure means the group can never complete.
-		// Cancel the sessions already attached and wait for their
-		// goroutines: returning with them in flight would leak them and
-		// race on recv.
-		for _, sc := range conns {
+			mu.Lock()
+			conns = append(conns, sc)
+			mu.Unlock()
+			wg.Add(1)
+			go func(sc *ServerConn) {
+				defer wg.Done()
+				// A stream error here is a dead stripe; its replacement
+				// arrives as a fresh session, so only the group's
+				// completeness matters. Closing unwinds the sender's
+				// confirm drain.
+				_ = recv.Attach(sc)
+				sc.Close()
+				if recv.Complete() {
+					once.Do(func() { close(done) })
+				}
+			}(sc)
+		}
+	}()
+	select {
+	case <-done:
+		// Remaining stripes drain on their own goroutines; the accept
+		// loop keeps serving late replays until the caller closes ln.
+		return recv.Written(), nil
+	case err := <-acceptErrCh:
+		// The group can never complete once accepts fail. Cancel the
+		// sessions already attached and wait for their goroutines:
+		// returning with them in flight would leak them and race on recv.
+		mu.Lock()
+		open := append([]*ServerConn(nil), conns...)
+		mu.Unlock()
+		for _, sc := range open {
 			sc.Close()
 		}
 		wg.Wait()
-		return recv.Written(), acceptErr
-	}
-	wg.Wait()
-	close(errs)
-	if err := <-errs; err != nil {
+		if recv.Complete() {
+			return recv.Written(), nil
+		}
 		return recv.Written(), err
 	}
-	if !recv.Complete() {
-		return recv.Written(), fmt.Errorf("lsl: striped stream incomplete: %d bytes", recv.Written())
-	}
-	return recv.Written(), nil
 }

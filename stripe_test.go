@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lsl"
+	"lsl/internal/faultnet"
 )
 
 // TestStripedTransferThroughDepots stripes one logical stream over three
@@ -123,6 +124,85 @@ func TestStripedReceiveAbortsGroupOnAcceptError(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("attached session leaked: sender read still blocked after group abort")
+	}
+}
+
+// The public self-healing striped path: two depot routes, the first
+// session through depot A is reset mid-flow, and StripedTransfer +
+// StripedReceive still deliver byte-exact with the heal visible in the
+// result.
+func TestStripedTransferHealsViaPublicAPI(t *testing.T) {
+	ln, err := lsl.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	depots := make([]string, 2)
+	for i := range depots {
+		dln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := lsl.NewDepot(lsl.DepotConfig{})
+		go d.Serve(dln)
+		defer d.Close()
+		depots[i] = dln.Addr().String()
+	}
+	routes := []lsl.Route{
+		{Via: []string{depots[0]}, Target: ln.Addr().String()},
+		{Via: []string{depots[1]}, Target: ln.Addr().String()},
+	}
+
+	payload := make([]byte, 2<<20)
+	rand.New(rand.NewSource(43)).Read(payload)
+
+	// Pace both first hops so the stripes share the flow, and reset the
+	// first session through depot 0 after 200 KB; its redial is clean.
+	fn := faultnet.New(nil)
+	pace := 500 * time.Microsecond
+	fn.Script(depots[0], faultnet.Step{WriteLatency: pace, ResetAfterBytes: 200_000})
+	fn.Script(depots[1], faultnet.Step{WriteLatency: pace})
+
+	type result struct {
+		n   int64
+		err error
+		buf *bytes.Buffer
+	}
+	got := make(chan result, 1)
+	go func() {
+		var out bytes.Buffer
+		n, rerr := lsl.StripedReceive(ln, len(routes), &out)
+		got <- result{n, rerr, &out}
+	}()
+
+	res, err := lsl.StripedTransfer(context.Background(), routes,
+		bytes.NewReader(payload), int64(len(payload)),
+		lsl.WithTransferPolicy(lsl.TransferPolicy{
+			MaxAttempts: 10,
+			Backoff:     lsl.BackoffPolicy{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+			JitterSeed:  1,
+		}),
+		lsl.WithTransferDialer(fn.DialContext),
+		lsl.WithStripeFrameSize(32<<10),
+		lsl.WithTransferLogf(t.Logf))
+	if err != nil {
+		t.Fatalf("striped transfer did not heal: %v", err)
+	}
+	if res.Heals < 1 {
+		t.Fatalf("heals=%d, want >= 1", res.Heals)
+	}
+
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.n != int64(len(payload)) || !bytes.Equal(r.buf.Bytes(), payload) {
+			t.Fatalf("received %d bytes, mismatch with %d sent", r.n, len(payload))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("timeout waiting for striped receive")
 	}
 }
 
