@@ -15,6 +15,9 @@
 //	lsd -listen :5000 -graph overlay.txt -self denver -admin :9090
 //	                                 # feed relay measurements into the live
 //	                                 # logistics planner; forecasts at /plan
+//	lsd -listen :5000 -state-dir /var/lib/lsd  # durable custody: staged
+//	                                 # payloads journaled to disk, recovered
+//	                                 # and redelivered after a restart
 package main
 
 import (
@@ -25,10 +28,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"lsl"
+	"lsl/internal/sizeparse"
 )
 
 func main() {
@@ -49,11 +54,46 @@ func main() {
 		sockBuf     = flag.Int("sockbuf", 0, "SO_SNDBUF/SO_RCVBUF for every accepted and dialed connection in bytes (0 = kernel default; TCP_NODELAY is always set)")
 		graphF      = flag.String("graph", "", "overlay graph file (lslplan format): run a live logistics planner fed by this depot's relay measurements")
 		selfNode    = flag.String("self", "", "this depot's node name in the -graph overlay")
+		stateDir    = flag.String("state-dir", "", "durable state directory: staged payloads are journaled here and recovered after a restart; the logistics planner's forecasts persist here too (empty = in-memory custody only)")
+		maxStage    = flag.String("max-stage", "", "largest staged payload accepted per session, e.g. 64M (empty = default 64M)")
+		maxStageTot = flag.String("max-stage-total", "", "global custody budget across all staged sessions, e.g. 1G; beyond it new staged sessions are shed (empty = 4x -max-stage)")
+		fsyncMode   = flag.String("fsync", "always", "custody journal fsync policy: always (durable across host crashes) or never (OS-buffered)")
 		verbose     = flag.Bool("v", false, "log each session")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "lsd ", log.LstdFlags)
+
+	var maxStageBytes, maxStageTotal int64
+	if *maxStage != "" {
+		n, err := sizeparse.Parse(*maxStage)
+		if err != nil {
+			logger.Fatalf("-max-stage: %v", err)
+		}
+		maxStageBytes = n
+	}
+	if *maxStageTot != "" {
+		n, err := sizeparse.Parse(*maxStageTot)
+		if err != nil {
+			logger.Fatalf("-max-stage-total: %v", err)
+		}
+		maxStageTotal = n
+	}
+	fsync, err := lsl.ParseFsync(*fsyncMode)
+	if err != nil {
+		logger.Fatalf("-fsync: %v", err)
+	}
+
+	var journal *lsl.CustodyJournal
+	if *stateDir != "" {
+		journal, err = lsl.OpenCustody(*stateDir, lsl.CustodyConfig{Fsync: fsync, Logf: logger.Printf})
+		if err != nil {
+			logger.Fatalf("opening custody journal: %v", err)
+		}
+		if n := len(journal.Recovered()); n > 0 {
+			logger.Printf("custody journal: recovered %d staged session(s), %d bytes", n, journal.LiveBytes())
+		}
+	}
 
 	var planner *lsl.Planner
 	if *graphF != "" {
@@ -70,6 +110,18 @@ func main() {
 			logger.Fatalf("building planner: %v", err)
 		}
 	}
+	var plannerSnap string
+	if planner != nil && *stateDir != "" {
+		plannerSnap = filepath.Join(*stateDir, "planner.json")
+		switch err := planner.LoadSnapshot(plannerSnap); {
+		case err == nil:
+			logger.Printf("planner: forecasts warm-started from %s", plannerSnap)
+		case os.IsNotExist(err):
+			// First boot on this state dir.
+		default:
+			logger.Printf("planner: ignoring snapshot: %v", err)
+		}
+	}
 	cfg := lsl.DepotConfig{
 		BufferSize:         *buffer,
 		MaxSessions:        *maxSessions,
@@ -83,6 +135,9 @@ func main() {
 		LinkMaxStreams:     *linkMax,
 		SockSndBuf:         *sockBuf,
 		SockRcvBuf:         *sockBuf,
+		MaxStageBytes:      maxStageBytes,
+		MaxTotalStageBytes: maxStageTotal,
+		Custody:            journal,
 	}
 	if *verbose {
 		cfg.Logf = logger.Printf
@@ -146,6 +201,18 @@ func main() {
 	}
 
 	d.Close()
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			logger.Printf("closing custody journal: %v", err)
+		}
+	}
+	if plannerSnap != "" {
+		if err := planner.SaveSnapshot(plannerSnap); err != nil {
+			logger.Printf("saving planner snapshot: %v", err)
+		} else {
+			logger.Printf("planner: forecasts saved to %s", plannerSnap)
+		}
+	}
 	if adminSrv != nil {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		adminSrv.Shutdown(shutdownCtx)

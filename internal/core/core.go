@@ -417,6 +417,36 @@ func (c *Conn) CloseWrite() error {
 	return nil
 }
 
+// AwaitCustody blocks until the first depot confirms the staged payload
+// is in its custody (the CodeCustody frame the depot sends after it has
+// the complete payload — durably journaled when it runs with a custody
+// write-ahead state dir). Call it after CloseWrite on a staged session:
+// once AwaitCustody returns nil the initiator may discard its copy, as
+// the payload survives a depot crash and redelivers after restart.
+// Returns an error for non-staged sessions, rejections, or a depot that
+// dies before committing.
+func (c *Conn) AwaitCustody() error {
+	if !c.opts.Staged {
+		return errors.New("lsl: AwaitCustody on a non-staged session")
+	}
+	if err := c.flushPending(); err != nil {
+		return err
+	}
+	c.nc.SetReadDeadline(time.Now().Add(c.opts.HandshakeTimeout))
+	defer c.nc.SetReadDeadline(time.Time{})
+	acc, err := wire.ReadAcceptFrame(c.nc)
+	if err != nil {
+		return fmt.Errorf("lsl: waiting for custody commit: %w", err)
+	}
+	if acc.Session != c.id {
+		return fmt.Errorf("lsl: custody commit for wrong session %s", acc.Session)
+	}
+	if acc.Code != wire.CodeCustody {
+		return fmt.Errorf("%w: %s", ErrRejected, wire.CodeString(acc.Code))
+	}
+	return nil
+}
+
 // Close tears the session's first sublink down.
 func (c *Conn) Close() error { return c.nc.Close() }
 

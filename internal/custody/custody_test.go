@@ -1,0 +1,353 @@
+package custody
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lsl/internal/wire"
+)
+
+func testEntry(total int64) Entry {
+	return Entry{
+		Session:    wire.NewSessionID(),
+		Flags:      wire.FlagDigest,
+		HopIndex:   0,
+		Route:      []string{"depot:5000", "target:6000"},
+		ContentLen: uint64(total),
+		Total:      total,
+	}
+}
+
+func stagePayload(t *testing.T, j *Journal, e Entry, payload []byte) {
+	t.Helper()
+	st, err := j.Stage(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	e := testEntry(1234)
+	e.Offset = 77
+	var buf bytes.Buffer
+	buf.Write(frameRecord(encodeAdmit(&e)))
+	buf.Write(frameRecord(encodeDone(e.Session, true)))
+
+	rec, err := ReadRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Type != RecAdmit || rec.Entry.Session != e.Session ||
+		rec.Entry.Total != 1234 || rec.Entry.Offset != 77 ||
+		len(rec.Entry.Route) != 2 || rec.Entry.Route[1] != "target:6000" {
+		t.Fatalf("admit mismatch: %+v", rec)
+	}
+	rec, err = ReadRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Type != RecDone || rec.Session != e.Session || !rec.Delivered {
+		t.Fatalf("done mismatch: %+v", rec)
+	}
+	if _, err := ReadRecord(&buf); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestStageCommitSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("durable"), 100)
+	e := testEntry(int64(len(payload)))
+	stagePayload(t, j, e, payload)
+	if got := j.LiveBytes(); got != int64(len(payload)) {
+		t.Fatalf("LiveBytes=%d want %d", got, len(payload))
+	}
+	j.Close()
+
+	j2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rec := j2.Recovered()
+	if len(rec) != 1 || rec[0].Session != e.Session || rec[0].Total != e.Total {
+		t.Fatalf("recovered %+v", rec)
+	}
+	f, err := j2.OpenPayload(e.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(f)
+	f.Close()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted across reopen")
+	}
+}
+
+func TestCompleteRetiresEntry(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("short-lived")
+	e := testEntry(int64(len(payload)))
+	stagePayload(t, j, e, payload)
+	if err := j.Complete(e.Session, true); err != nil {
+		t.Fatal(err)
+	}
+	if j.Live() != 0 || j.LiveBytes() != 0 {
+		t.Fatalf("live=%d bytes=%d after complete", j.Live(), j.LiveBytes())
+	}
+	if _, err := os.Stat(filepath.Join(dir, e.Session.String()+PayloadSuffix)); !os.IsNotExist(err) {
+		t.Fatal("payload file survived Complete")
+	}
+	// Completing twice (and completing the unknown) is a no-op.
+	if err := j.Complete(e.Session, false); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(j2.Recovered()) != 0 {
+		t.Fatal("completed session recovered")
+	}
+}
+
+func TestAbortLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	e := testEntry(100)
+	st, err := j.Stage(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Write([]byte("partial"))
+	st.Abort()
+	if j.Live() != 0 {
+		t.Fatal("aborted stage went live")
+	}
+	if _, err := os.Stat(filepath.Join(dir, e.Session.String()+PayloadSuffix)); !os.IsNotExist(err) {
+		t.Fatal("payload file survived Abort")
+	}
+}
+
+func TestShortCommitRefused(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	e := testEntry(100)
+	st, err := j.Stage(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Write([]byte("only a few bytes"))
+	if err := st.Commit(); err == nil {
+		t.Fatal("short commit accepted")
+	}
+	if j.Live() != 0 {
+		t.Fatal("short stage went live")
+	}
+}
+
+// A torn tail — a record half-flushed by a crash mid-append — must not
+// poison the valid prefix, and must be repaired (truncated) on Open.
+func TestCorruptTailSkipped(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("survivor")
+	e := testEntry(int64(len(payload)))
+	stagePayload(t, j, e, payload)
+	j.Close()
+
+	// Append garbage: a plausible length prefix followed by junk.
+	f, err := os.OpenFile(filepath.Join(dir, JournalName), os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0, 0, 0, 40, 0xde, 0xad, 0xbe, 0xef, 'j', 'u', 'n', 'k'})
+	f.Close()
+
+	j2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := j2.Recovered(); len(rec) != 1 || rec[0].Session != e.Session {
+		t.Fatalf("recovered %+v", rec)
+	}
+	j2.Close()
+
+	// The rewrite dropped the garbage: a third open sees a clean log.
+	j3, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if len(j3.Recovered()) != 1 {
+		t.Fatal("repaired journal did not survive a further reopen")
+	}
+}
+
+// A journaled admit whose payload file is missing or short must be
+// dropped: redelivering a truncated payload would fail end-to-end MD5
+// anyway, and redelivering garbage is worse than delivering nothing.
+func TestMissingPayloadDropped(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("will vanish")
+	e := testEntry(int64(len(payload)))
+	stagePayload(t, j, e, payload)
+	e2 := testEntry(4)
+	stagePayload(t, j, e2, []byte("keep"))
+	j.Close()
+	os.Remove(filepath.Join(dir, e.Session.String()+PayloadSuffix))
+
+	j2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rec := j2.Recovered()
+	if len(rec) != 1 || rec[0].Session != e2.Session {
+		t.Fatalf("recovered %+v", rec)
+	}
+}
+
+// Orphan payload files (payload written, admit record never journaled —
+// a crash between the two) are removed by Open's compaction and never
+// recovered.
+func TestOrphanPayloadRemoved(t *testing.T) {
+	dir := t.TempDir()
+	orphan := filepath.Join(dir, wire.NewSessionID().String()+PayloadSuffix)
+	if err := os.WriteFile(orphan, []byte("never admitted"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(j.Recovered()) != 0 {
+		t.Fatal("orphan recovered")
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphan payload survived Open")
+	}
+}
+
+func TestCompactionShrinksJournal(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Config{CompactEvery: 4, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	payload := []byte("churn")
+	for i := 0; i < 8; i++ {
+		e := testEntry(int64(len(payload)))
+		stagePayload(t, j, e, payload)
+		if err := j.Complete(e.Session, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := os.Stat(filepath.Join(dir, JournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything was retired and the compaction threshold (4) tripped at
+	// least once, so the log must be empty, not 8 admit+done pairs.
+	if st.Size() != 0 {
+		t.Fatalf("journal size %d after full churn, want 0", st.Size())
+	}
+}
+
+func TestZeroByteEntry(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(0)
+	stagePayload(t, j, e, nil)
+	j.Close()
+	j2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rec := j2.Recovered()
+	if len(rec) != 1 || rec[0].Total != 0 {
+		t.Fatalf("recovered %+v", rec)
+	}
+	f, err := j2.OpenPayload(e.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got, _ := io.ReadAll(f); len(got) != 0 {
+		t.Fatal("zero-byte payload grew bytes")
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncPolicy
+		ok   bool
+	}{
+		{"always", FsyncAlways, true},
+		{"", FsyncAlways, true},
+		{"never", FsyncNever, true},
+		{"none", FsyncNever, true},
+		{"sometimes", FsyncAlways, false},
+	} {
+		got, err := ParseFsync(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseFsync(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}
+
+func TestStageAfterCloseRefused(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := j.Stage(testEntry(1)); err != ErrClosed {
+		t.Fatalf("Stage after Close: %v", err)
+	}
+	if err := j.Complete(wire.NewSessionID(), true); err != ErrClosed {
+		t.Fatalf("Complete after Close: %v", err)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"lsl/internal/core"
+	"lsl/internal/custody"
 	"lsl/internal/metrics"
 	"lsl/internal/mux"
 	"lsl/internal/sockopt"
@@ -75,6 +76,22 @@ type Config struct {
 	Logf func(format string, args ...interface{})
 	// MaxStageBytes bounds a staged (custody) session's payload.
 	MaxStageBytes int64
+	// MaxTotalStageBytes bounds aggregate staged custody bytes across all
+	// sessions. A staged session that would push the total past this is
+	// refused with the typed CodeRejectShed frame (load shedding) instead
+	// of being buffered toward OOM. Zero means DefaultTotalStageFactor *
+	// MaxStageBytes. Sessions recovered from the custody journal are
+	// re-admitted even past the budget (they were already acknowledged);
+	// new admissions shed first.
+	MaxTotalStageBytes int64
+	// Custody, when set, makes staged sessions durable: payloads spill to
+	// per-session files under the journal's state dir and are journaled
+	// (write-ahead, CRC-guarded) before the custody commit frame is sent,
+	// so a depot crash or redeploy cannot drop an acknowledged payload.
+	// On construction the depot re-admits the journal's surviving
+	// sessions and resumes their redelivery. The journal is owned by the
+	// caller: open it with custody.Open before New, close it after Close.
+	Custody *custody.Journal
 	// StageRetryInterval is the redelivery backoff *base* for staged
 	// sessions; successive attempts back off exponentially from here.
 	StageRetryInterval time.Duration
@@ -153,6 +170,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxStageBytes == 0 {
 		c.MaxStageBytes = DefaultMaxStageBytes
 	}
+	if c.MaxTotalStageBytes == 0 {
+		c.MaxTotalStageBytes = DefaultTotalStageFactor * c.MaxStageBytes
+	}
 	if c.StageRetryInterval == 0 {
 		c.StageRetryInterval = DefaultStageRetryInterval
 	}
@@ -202,6 +222,15 @@ type Stats struct {
 	StagedDelivered        uint64
 	StagedAborted          uint64
 	StagedBytes            uint64
+	// StagedShed counts staged sessions refused because the global
+	// custody budget (MaxTotalStageBytes) was exhausted.
+	StagedShed uint64
+	// StagedRecovered counts custody sessions re-admitted from the
+	// write-ahead journal after a restart.
+	StagedRecovered uint64
+	// CustodyBytes is the live aggregate of staged payload bytes
+	// currently in custody (the budget gauge).
+	CustodyBytes int64
 }
 
 // Histogram bucket bounds for the admin metrics.
@@ -244,6 +273,9 @@ type Depot struct {
 	stagedDelivered *metrics.Counter
 	stagedAborted   *metrics.Counter
 	stagedBytes     *metrics.Counter
+	stagedRecovered *metrics.Counter
+	stageShed       *metrics.Counter
+	custodyBytes    *metrics.Gauge
 
 	// Trunk state (cfg.Mux): warm links to next hops, accept-side link
 	// accounting, and the drain signal that retires accept-side links on
@@ -313,6 +345,12 @@ func New(cfg Config) *Depot {
 		"Staged sessions abandoned past the stage deadline.")
 	d.stagedBytes = reg.Counter("lsd_staged_bytes_total",
 		"Bytes taken into staged custody.")
+	d.stagedRecovered = reg.Counter("lsl_staged_recovered_total",
+		"Custody sessions re-admitted from the write-ahead journal after a restart.")
+	d.stageShed = reg.Counter("lsl_stage_shed_total",
+		"Staged sessions refused because the global custody budget was exhausted.")
+	d.custodyBytes = reg.Gauge("lsl_custody_bytes",
+		"Staged payload bytes currently in custody, across all sessions.")
 	d.drainCh = make(chan struct{})
 	if cfg.Mux {
 		d.linkOpened = reg.CounterVec("lsl_link_opened_total",
@@ -342,6 +380,9 @@ func New(cfg Config) *Depot {
 			Logf:              cfg.Logf,
 		})
 	}
+	// Surviving custody sessions resume redelivery immediately — they
+	// only dial outward, so they need no listener to make progress.
+	d.recoverCustody()
 	return d
 }
 
@@ -379,6 +420,9 @@ func (d *Depot) Stats() Stats {
 		StagedDelivered:        d.stagedDelivered.Value(),
 		StagedAborted:          d.stagedAborted.Value(),
 		StagedBytes:            d.stagedBytes.Value(),
+		StagedShed:             d.stageShed.Value(),
+		StagedRecovered:        d.stagedRecovered.Value(),
+		CustodyBytes:           d.custodyBytes.Value(),
 	}
 }
 
@@ -494,6 +538,29 @@ func (d *Depot) Close() error {
 		d.nextHops.Close()
 	}
 	return err
+}
+
+// Kill hard-stops the depot: the listener closes and the root context
+// cancels immediately, with no drain — in-flight relays and staged
+// deliveries are cut mid-stream, exactly as a crash or SIGKILL would cut
+// them. Custody journal entries for undelivered staged sessions stay on
+// disk for the next process to recover. Chaos drills and the
+// crash-recovery tests use this; operators wanting a graceful stop use
+// Close.
+func (d *Depot) Kill() {
+	d.mu.Lock()
+	already := d.closed
+	d.closed = true
+	ln := d.ln
+	d.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	d.cancel()
+	d.wg.Wait()
+	if !already && d.nextHops != nil {
+		d.nextHops.Close()
+	}
 }
 
 // writeControl writes an accept/reject frame under the control write

@@ -22,6 +22,9 @@ const (
 	OutcomeStagedDeliver  = "staged-delivered"
 	OutcomeStagedAborted  = "staged-aborted"
 	OutcomeStagedUpFailed = "staged-upload-failed"
+	// OutcomeStagedShed marks staged sessions refused because the global
+	// custody budget (Config.MaxTotalStageBytes) was exhausted.
+	OutcomeStagedShed = "staged-shed"
 )
 
 // Session kinds.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"lsl/internal/backoff"
+	"lsl/internal/custody"
 	"lsl/internal/wire"
 	"lsl/internal/xfer"
 )
@@ -20,15 +21,33 @@ import (
 // with depots providing application-controlled buffering to potentially
 // anonymous clients. A session opened with wire.FlagStaged is accepted by
 // the first depot itself: it takes custody of the complete payload
-// (bounded by MaxStageBytes), acknowledges the initiator, and then
-// delivers the payload over the remaining route asynchronously, retrying
-// while the downstream is unreachable. The end-to-end MD5 trailer is
-// stored and forwarded verbatim, so integrity verification still happens
-// at the ultimate receiver.
+// (bounded by MaxStageBytes per session and MaxTotalStageBytes across
+// sessions), acknowledges the initiator, and then delivers the payload
+// over the remaining route asynchronously, retrying while the downstream
+// is unreachable. The end-to-end MD5 trailer is stored and forwarded
+// verbatim, so integrity verification still happens at the ultimate
+// receiver.
+//
+// Custody is durable when Config.Custody carries a write-ahead journal
+// (internal/custody): the payload is spilled to a per-session file and
+// journaled BEFORE the CodeCustody commit frame goes back to the
+// initiator, redelivery attempts stream from the file (no heap pinned
+// between attempts), and a restarted depot re-admits surviving journal
+// entries and resumes redelivery where the dead process left off.
+// Without a journal the payload lives in process memory and the commit
+// frame only means "buffered" — a crash loses it.
+//
+// Admission is two-tier: a payload over MaxStageBytes is rejected busy
+// (it can never fit), and a payload that would push aggregate custody
+// past MaxTotalStageBytes is shed with the typed CodeRejectShed frame —
+// explicit load shedding instead of OOMing under a burst of custody
+// uploads.
 //
 // The whole custody path hangs off the depot-root context: retry backoff
 // selects on ctx.Done instead of sleeping, so Close's drain-then-cancel
-// sequence bounds how long a mid-retry delivery can pin shutdown.
+// sequence bounds how long a mid-retry delivery can pin shutdown. A
+// cancelled delivery keeps its journal entry: it is exactly the state
+// the next process recovers.
 
 // stage-related configuration (part of Config).
 const (
@@ -40,10 +59,53 @@ const (
 	DefaultStageRetryMax = 30 * time.Second
 	// DefaultStageDeadline is how long the depot tries before discarding.
 	DefaultStageDeadline = 5 * time.Minute
+	// DefaultTotalStageFactor sets MaxTotalStageBytes when unset: this
+	// many sessions' worth of MaxStageBytes may be in custody at once.
+	DefaultTotalStageFactor = 4
 )
 
-// handleStaged runs the custody path for a staged session: read the whole
-// stream, acknowledge, deliver in the background. The session stays in the
+// payloadSource opens one redelivery attempt's view of a custody payload
+// starting at offset. Journal-backed sources open the spill file per
+// attempt, so a custody session pins no payload heap between attempts;
+// memory-backed sources (no journal) wrap the buffered bytes.
+type payloadSource interface {
+	Open(offset int64) (io.ReadCloser, error)
+}
+
+// memSource is the in-memory custody buffer (journal-less depots).
+type memSource []byte
+
+func (m memSource) Open(offset int64) (io.ReadCloser, error) {
+	if offset < 0 || offset > int64(len(m)) {
+		return nil, fmt.Errorf("depot: custody offset %d out of range", offset)
+	}
+	return io.NopCloser(bytes.NewReader(m[offset:])), nil
+}
+
+// journalSource streams a custody payload from its write-ahead spill
+// file.
+type journalSource struct {
+	j  *custody.Journal
+	id wire.SessionID
+}
+
+func (s journalSource) Open(offset int64) (io.ReadCloser, error) {
+	f, err := s.j.OpenPayload(s.id)
+	if err != nil {
+		return nil, err
+	}
+	if offset > 0 {
+		if _, err := f.Seek(offset, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// handleStaged runs the custody path for a staged session: admit against
+// both stage budgets, read the whole stream (durably when journaled),
+// confirm custody, deliver in the background. The session stays in the
 // live registry until delivery succeeds, is abandoned, or is cancelled by
 // shutdown.
 func (d *Depot) handleStaged(ctx context.Context, up netConnLike, hdr *wire.OpenHeader) {
@@ -67,7 +129,6 @@ func (d *Depot) handleStaged(ctx context.Context, up netConnLike, hdr *wire.Open
 		d.sessionDur.With(outcome).Observe(info.DurationSeconds)
 	}
 
-	length := int64(0)
 	if hdr.ContentLen == wire.UnknownLength {
 		d.rejectedProto.Inc()
 		d.logf("depot: staged session %s needs a content length", hdr.Session)
@@ -75,8 +136,7 @@ func (d *Depot) handleStaged(ctx context.Context, up netConnLike, hdr *wire.Open
 		fail(OutcomeRejectedProto)
 		return
 	}
-	length = int64(hdr.ContentLen)
-	total := length
+	total := int64(hdr.ContentLen)
 	if hdr.Flags&wire.FlagDigest != 0 {
 		total += wire.DigestLen
 	}
@@ -87,21 +147,33 @@ func (d *Depot) handleStaged(ctx context.Context, up netConnLike, hdr *wire.Open
 		fail(OutcomeRejectedBusy)
 		return
 	}
+	// Global custody budget: reserve atomically (add, then check) so
+	// concurrent custody uploads can never collectively overshoot, and
+	// shed the excess with the typed frame instead of buffering toward
+	// OOM. The gauge doubles as the live custody-bytes accounting.
+	if d.custodyBytes.Add(total) > d.cfg.MaxTotalStageBytes {
+		d.custodyBytes.Add(-total)
+		d.stageShed.Inc()
+		d.logf("depot: staged session %s shed: custody budget exhausted (%d in custody, limit %d)",
+			hdr.Session, d.custodyBytes.Value(), d.cfg.MaxTotalStageBytes)
+		d.writeControl(up, &wire.AcceptFrame{Code: wire.CodeRejectShed, Session: hdr.Session})
+		fail(OutcomeStagedShed)
+		return
+	}
+	release := func() { d.custodyBytes.Add(-total) }
 
-	// Custody accept: the depot itself acknowledges the session before the
-	// payload flows (the initiator can then disconnect as soon as its
-	// upload completes).
+	// Custody accept: the depot acknowledges admission before the payload
+	// flows; durability is confirmed separately by the CodeCustody frame
+	// once the payload is staged.
 	if !d.writeControl(up, &wire.AcceptFrame{Code: wire.CodeOK, Session: hdr.Session}) {
+		release()
 		fail(OutcomeStagedUpFailed)
 		return
 	}
-	// The custody buffer outlives this handler (it rides the delivery
-	// goroutine), so it cannot come from the relay pool.
-	buf := make([]byte, total)
-	unwatch := closeOnDone(ctx, up)
-	_, err := io.ReadFull(up, buf)
-	unwatch()
+
+	src, err := d.stagePayload(ctx, up, hdr, total)
 	if err != nil {
+		release()
 		if ctx.Err() != nil {
 			d.canceled.Inc()
 			d.logf("depot: staged session %s upload canceled by shutdown", hdr.Session)
@@ -114,30 +186,138 @@ func (d *Depot) handleStaged(ctx context.Context, up netConnLike, hdr *wire.Open
 	}
 	d.staged.Inc()
 	d.stagedBytes.Add(uint64(total))
+	// Custody commit: the payload is complete (and durable when
+	// journaled) — tell the initiator it may hang up and discard its
+	// copy. An initiator that already hung up just costs a logged write
+	// failure; custody proceeds regardless.
+	d.writeControl(up, &wire.AcceptFrame{Code: wire.CodeCustody, Session: hdr.Session})
 	d.logf("depot: staged session %s in custody (%d bytes), delivering to %v",
 		hdr.Session, total, hdr.RemainingHops()[1:])
 
 	ls := d.sessions.add(info)
 	ls.bytesFwd.Add(uint64(total))
+	d.spawnDelivery(ctx, hdr, src, total, ls, start, release)
+}
+
+// stagePayload reads the complete custody payload from the initiator:
+// into the write-ahead journal's spill file (committed before return)
+// when one is configured, into process memory otherwise.
+func (d *Depot) stagePayload(ctx context.Context, up netConnLike, hdr *wire.OpenHeader, total int64) (payloadSource, error) {
+	unwatch := closeOnDone(ctx, up)
+	defer unwatch()
+	if d.cfg.Custody == nil {
+		buf := make([]byte, total)
+		if _, err := io.ReadFull(up, buf); err != nil {
+			return nil, err
+		}
+		return memSource(buf), nil
+	}
+	st, err := d.cfg.Custody.Stage(custody.Entry{
+		Session:    hdr.Session,
+		Flags:      hdr.Flags,
+		HopIndex:   hdr.HopIndex,
+		Route:      hdr.Route,
+		ContentLen: hdr.ContentLen,
+		Offset:     hdr.Offset,
+		Total:      total,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n, err := xfer.CopyCounted(st, io.LimitReader(up, total), d.bufs, xfer.CopyConfig{})
+	if err != nil {
+		st.Abort()
+		return nil, err
+	}
+	if n != total {
+		st.Abort()
+		return nil, fmt.Errorf("short custody upload: %d of %d bytes: %w", n, total, io.ErrUnexpectedEOF)
+	}
+	if err := st.Commit(); err != nil {
+		return nil, err
+	}
+	return journalSource{j: d.cfg.Custody, id: hdr.Session}, nil
+}
+
+// spawnDelivery runs the asynchronous redelivery loop for one custody
+// session on its own goroutine and owns its terminal accounting: journal
+// compaction on delivery/abort, journal retention on shutdown
+// cancellation (that entry is precisely what the next process recovers),
+// and the custody-budget release either way.
+func (d *Depot) spawnDelivery(ctx context.Context, hdr *wire.OpenHeader, src payloadSource, total int64, ls *liveSession, start time.Time, release func()) {
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
-		if err := d.deliverStaged(ctx, hdr, buf); err != nil {
+		defer release()
+		if err := d.deliverStaged(ctx, hdr, src, total); err != nil {
 			if ctx.Err() != nil {
 				d.canceled.Inc()
 				d.finishStaged(ls, OutcomeCanceled, start)
 				d.logf("depot: staged session %s canceled by shutdown: %v", hdr.Session, err)
 				return
 			}
+			d.completeCustody(hdr.Session, false)
 			d.stagedAborted.Inc()
 			d.finishStaged(ls, OutcomeStagedAborted, start)
 			d.logf("depot: staged session %s abandoned: %v", hdr.Session, err)
 			return
 		}
+		d.completeCustody(hdr.Session, true)
 		d.stagedDelivered.Inc()
 		d.finishStaged(ls, OutcomeStagedDeliver, start)
 		d.logf("depot: staged session %s delivered", hdr.Session)
 	}()
+}
+
+// completeCustody retires a session's journal entry (no-op without a
+// journal).
+func (d *Depot) completeCustody(id wire.SessionID, delivered bool) {
+	if d.cfg.Custody == nil {
+		return
+	}
+	if err := d.cfg.Custody.Complete(id, delivered); err != nil {
+		d.logf("depot: custody journal complete %s: %v", id, err)
+	}
+}
+
+// recoverCustody re-admits every custody session that survived in the
+// write-ahead journal: each one re-enters the registry and the custody
+// budget (unconditionally — they were already acknowledged; new
+// admissions shed first) and resumes redelivery with a fresh stage
+// deadline.
+func (d *Depot) recoverCustody() {
+	if d.cfg.Custody == nil {
+		return
+	}
+	for _, e := range d.cfg.Custody.Recovered() {
+		hdr := &wire.OpenHeader{
+			Flags:      e.Flags,
+			Session:    e.Session,
+			HopIndex:   e.HopIndex,
+			Route:      e.Route,
+			ContentLen: e.ContentLen,
+			Offset:     e.Offset,
+		}
+		info := SessionInfo{
+			ID:       hdr.Session.String(),
+			Kind:     KindStaged,
+			Peer:     "recovered",
+			Hop:      int(hdr.HopIndex),
+			RouteLen: len(hdr.Route),
+			Started:  time.Now(),
+		}
+		if next, ok := hdr.NextHop(); ok {
+			info.NextHop = next
+		}
+		total := e.Total
+		d.custodyBytes.Add(total)
+		d.stagedRecovered.Inc()
+		ls := d.sessions.add(info)
+		ls.bytesFwd.Add(uint64(total))
+		d.logf("depot: recovered staged session %s from custody journal (%d bytes)", hdr.Session, total)
+		d.spawnDelivery(d.root, hdr, journalSource{j: d.cfg.Custody, id: hdr.Session}, total, ls,
+			info.Started, func() { d.custodyBytes.Add(-total) })
+	}
 }
 
 // finishStaged retires a staged session's registry entry and observes its
@@ -156,14 +336,14 @@ func stagedPeer(c netConnLike) string {
 	return ""
 }
 
-// deliverStaged pushes a custody buffer over the remaining route, retrying
-// with capped exponential backoff until the stage deadline or
+// deliverStaged pushes a custody payload over the remaining route,
+// retrying with capped exponential backoff until the stage deadline or
 // cancellation. Jitter is seeded from the depot's RetryJitterSeed XOR the
 // session ID: deterministic under test, but concurrent staged sessions
 // that failed together spread out instead of retrying in lockstep against
 // a receiver that is just coming back (the thundering-herd mode of the
 // old fixed-interval retry).
-func (d *Depot) deliverStaged(ctx context.Context, hdr *wire.OpenHeader, payload []byte) error {
+func (d *Depot) deliverStaged(ctx context.Context, hdr *wire.OpenHeader, src payloadSource, total int64) error {
 	next, ok := hdr.NextHop()
 	if !ok {
 		return fmt.Errorf("staged session terminates at a depot")
@@ -182,7 +362,7 @@ func (d *Depot) deliverStaged(ctx context.Context, hdr *wire.OpenHeader, payload
 	for {
 		attempt++
 		d.stagedAttempts.Inc()
-		err := d.attemptDelivery(ctx, next, enc, payload, fwd.Session)
+		err := d.attemptDelivery(ctx, next, enc, src, total, fwd.Session)
 		if err == nil {
 			return nil
 		}
@@ -201,7 +381,7 @@ func (d *Depot) deliverStaged(ctx context.Context, hdr *wire.OpenHeader, payload
 	}
 }
 
-func (d *Depot) attemptDelivery(ctx context.Context, next string, hdr, payload []byte, id wire.SessionID) error {
+func (d *Depot) attemptDelivery(ctx context.Context, next string, hdr []byte, src payloadSource, total int64, id wire.SessionID) error {
 	dctx, cancel := context.WithTimeout(ctx, d.cfg.DialTimeout)
 	down, err := d.dialNext(dctx, next)
 	cancel()
@@ -229,10 +409,18 @@ func (d *Depot) attemptDelivery(ctx context.Context, next string, hdr, payload [
 	}
 	down.SetReadDeadline(time.Time{})
 	start := int64(0)
-	if acc.Offset > 0 && acc.Offset < uint64(len(payload)) {
+	if acc.Offset > 0 && acc.Offset < uint64(total) {
 		start = int64(acc.Offset) // resumed delivery
 	}
-	if _, err := xfer.CopyCounted(down, bytes.NewReader(payload[start:]), d.bufs, xfer.CopyConfig{Ctx: ctx}); err != nil {
+	// The payload opens fresh per attempt: journal-backed custody streams
+	// from the spill file, so nothing is pinned while the session sits in
+	// retry backoff.
+	payload, err := src.Open(start)
+	if err != nil {
+		return fmt.Errorf("custody payload: %w", err)
+	}
+	defer payload.Close()
+	if _, err := xfer.CopyCounted(down, payload, d.bufs, xfer.CopyConfig{Ctx: ctx}); err != nil {
 		return err
 	}
 	halfClose(down)

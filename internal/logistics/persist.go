@@ -1,0 +1,98 @@
+package logistics
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lsl/internal/route"
+)
+
+// Forecast persistence: SaveSnapshot serialises the planner's learned
+// edge metrics (the Snapshot View, which is already the stable JSON the
+// admin /plan endpoint serves) and LoadSnapshot warm-starts a freshly
+// built planner from it, so a depot does not relearn the overlay from
+// scratch after a restart or deploy.
+//
+// The NWS predictor banks themselves are not serialised — they are
+// cheap to regrow and their internals are not a stable format. Instead
+// each edge's last forecast is replayed as a single observation, which
+// seeds every predictor in the bank with the learned value and folds it
+// into the planning graph immediately. One real observation after
+// restart and the bank is competitive again.
+
+// SaveSnapshot atomically writes the planner's current Snapshot as JSON
+// to path (tmp file + rename, fsynced, so a crash mid-save leaves either
+// the old snapshot or the new one, never a torn file).
+func (p *Planner) SaveSnapshot(path string) error {
+	data, err := json.MarshalIndent(p.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("logistics: encode snapshot: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".planner-*.json")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadSnapshot reads a SaveSnapshot file and seeds the planner's
+// forecast series from it. Edges present in the snapshot but absent
+// from the planner's graph are skipped (the overlay may have changed
+// between runs); edges with no recorded observations are left untouched
+// so the overlay's static metrics keep governing them. A missing file
+// is returned as-is — callers gate on os.IsNotExist for first boot.
+func (p *Planner) LoadSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var v View
+	if err := json.Unmarshal(data, &v); err != nil {
+		return fmt.Errorf("logistics: decode snapshot %s: %w", path, err)
+	}
+	if v.Self != "" && v.Self != string(p.self) {
+		return fmt.Errorf("logistics: snapshot %s was taken on node %s, planner is %s", path, v.Self, p.self)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ev := range v.Edges {
+		key := edgeKey{route.NodeID(ev.From), route.NodeID(ev.To)}
+		es, ok := p.series[key]
+		if !ok {
+			continue
+		}
+		if ev.RTTObs > 0 && ev.RTTSeconds > 0 {
+			es.rtt.Observe(ev.RTTSeconds)
+		}
+		if ev.BandwidthObs > 0 && ev.BandwidthBps > 0 {
+			es.bw.Observe(ev.BandwidthBps)
+		}
+		if ev.LossObs > 0 {
+			es.loss.Observe(clamp(ev.LossProb, 0, maxLossProb))
+		}
+		p.refreshEdgeLocked(key.from, key.to, es)
+	}
+	return nil
+}

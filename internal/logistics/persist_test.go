@@ -1,0 +1,116 @@
+package logistics
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lsl/internal/route"
+)
+
+func TestSnapshotRoundTripRestoresLearnedEdges(t *testing.T) {
+	p := newTestPlanner(t)
+	// Teach the planner the fast path has degraded badly.
+	for i := 0; i < 5; i++ {
+		p.ObserveRTT("client", "A", 0.200)
+		p.ObserveBandwidth("client", "A", 1e6)
+		p.ObserveLoss("client", "A", 0.05)
+	}
+	wantM, wantLoss, ok := p.EdgeState("client", "A")
+	if !ok {
+		t.Fatal("edge client->A missing")
+	}
+
+	path := filepath.Join(t.TempDir(), "planner.json")
+	if err := p.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh planner over the same overlay starts from the static edge
+	// metrics; loading the snapshot must bring back the learned ones.
+	p2 := newTestPlanner(t)
+	if m, _, _ := p2.EdgeState("client", "A"); m.RTTSeconds == wantM.RTTSeconds {
+		t.Fatal("fresh planner already has learned RTT — test is vacuous")
+	}
+	if err := p2.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	gotM, gotLoss, ok := p2.EdgeState("client", "A")
+	if !ok {
+		t.Fatal("edge client->A missing after load")
+	}
+	if ratio := gotM.RTTSeconds / wantM.RTTSeconds; ratio < 0.5 || ratio > 2 {
+		t.Fatalf("restored RTT %.4fs not near saved %.4fs", gotM.RTTSeconds, wantM.RTTSeconds)
+	}
+	if ratio := gotM.BandwidthBps / wantM.BandwidthBps; ratio < 0.5 || ratio > 2 {
+		t.Fatalf("restored bandwidth %.0f not near saved %.0f", gotM.BandwidthBps, wantM.BandwidthBps)
+	}
+	if gotLoss <= 0 || gotLoss > 2*wantLoss+0.01 {
+		t.Fatalf("restored loss %.4f not near saved %.4f", gotLoss, wantLoss)
+	}
+
+	// Untouched edges keep their overlay statics.
+	m, _, _ := p2.EdgeState("client", "B")
+	if m.RTTSeconds != 0.040 {
+		t.Fatalf("unobserved edge mutated: RTT %.4fs", m.RTTSeconds)
+	}
+}
+
+func TestLoadSnapshotMissingFile(t *testing.T) {
+	p := newTestPlanner(t)
+	err := p.LoadSnapshot(filepath.Join(t.TempDir(), "nope.json"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("want IsNotExist, got %v", err)
+	}
+}
+
+func TestLoadSnapshotRejectsWrongSelf(t *testing.T) {
+	p, err := New(testGraph(), "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "planner.json")
+	if err := p.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	p2 := newTestPlanner(t) // self = client
+	err = p2.LoadSnapshot(path)
+	if err == nil || !strings.Contains(err.Error(), "taken on node A") {
+		t.Fatalf("wrong-self snapshot accepted: %v", err)
+	}
+}
+
+func TestLoadSnapshotRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "planner.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := newTestPlanner(t).LoadSnapshot(path); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+func TestLoadSnapshotSkipsUnknownEdges(t *testing.T) {
+	p := newTestPlanner(t)
+	p.ObserveRTT("client", "A", 0.100)
+	path := filepath.Join(t.TempDir(), "planner.json")
+	if err := p.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	// Load into a planner whose overlay lost depot A entirely.
+	g := route.NewGraph()
+	g.AddNode(route.Node{ID: "client"})
+	g.AddNode(route.Node{ID: "B", Depot: true, Addr: "b:5000"})
+	g.AddNode(route.Node{ID: "server", Addr: "srv:7000"})
+	slow := route.Metrics{RTTSeconds: 0.040, BandwidthBps: 50e6, LossProb: 2.5e-4}
+	g.AddDuplex("client", "B", slow)
+	g.AddDuplex("B", "server", slow)
+	p2, err := New(g, "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.LoadSnapshot(path); err != nil {
+		t.Fatalf("snapshot with stale edges refused: %v", err)
+	}
+}

@@ -252,6 +252,17 @@ const (
 	CodeRejectRoute
 	// CodeRejectProto is sent on malformed or unsupported headers.
 	CodeRejectProto
+	// CodeRejectShed is sent by a depot refusing a staged session because
+	// its global custody budget (aggregate staged bytes across all
+	// sessions) is exhausted — load shedding, distinct from the
+	// per-session busy rejection so initiators can tell "this payload is
+	// too big" from "the depot is full right now, try another".
+	CodeRejectShed
+	// CodeCustody confirms a staged session is durably in the depot's
+	// custody: with a write-ahead journal configured it is sent only
+	// after the payload and its journal record are on stable storage, so
+	// an initiator that has seen this frame may discard its copy.
+	CodeCustody
 )
 
 // AcceptFrame travels backward through the cascade once the final target
@@ -309,6 +320,10 @@ func CodeString(c uint8) string {
 		return "route-unreachable"
 	case CodeRejectProto:
 		return "protocol-error"
+	case CodeRejectShed:
+		return "custody-shed"
+	case CodeCustody:
+		return "custody-committed"
 	default:
 		return fmt.Sprintf("code-%d", c)
 	}

@@ -240,6 +240,9 @@ func TestSessionIDsUnique(t *testing.T) {
 }
 
 func TestCodeString(t *testing.T) {
+	if CodeString(CodeRejectShed) != "custody-shed" || CodeString(CodeCustody) != "custody-committed" {
+		t.Fatal("custody code names wrong")
+	}
 	if CodeString(CodeOK) != "ok" || CodeString(CodeRejectBusy) != "busy" {
 		t.Fatal("code names")
 	}

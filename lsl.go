@@ -35,6 +35,7 @@ import (
 
 	"lsl/internal/backoff"
 	"lsl/internal/core"
+	"lsl/internal/custody"
 	"lsl/internal/depot"
 	"lsl/internal/metrics"
 	"lsl/internal/mux"
@@ -101,8 +102,50 @@ const (
 	DepotOutcomeStagedDeliver  = depot.OutcomeStagedDeliver
 	DepotOutcomeStagedAborted  = depot.OutcomeStagedAborted
 	DepotOutcomeStagedUpFailed = depot.OutcomeStagedUpFailed
+	DepotOutcomeStagedShed     = depot.OutcomeStagedShed
 	DepotOutcomeDialFailed     = depot.OutcomeDialFailed
 )
+
+// --- durable custody (internal/custody) ---
+
+// CustodyJournal is a depot's write-ahead custody journal: staged
+// payloads spill to per-session files under a state directory and an
+// append-only record log makes the depot's custody promise survive a
+// crash. Open one with OpenCustody, pass it as DepotConfig.Custody, and
+// close it after the depot (the depot never closes a journal it was
+// lent).
+type CustodyJournal = custody.Journal
+
+// CustodyConfig tunes a journal: fsync policy, compaction cadence,
+// logging.
+type CustodyConfig = custody.Config
+
+// CustodyEntry describes one session the journal holds custody of
+// (see CustodyJournal.Recovered).
+type CustodyEntry = custody.Entry
+
+// FsyncPolicy selects when the journal calls fsync.
+type FsyncPolicy = custody.FsyncPolicy
+
+// Fsync policies: FsyncAlways syncs payload and journal before the
+// depot acknowledges custody (the durable default); FsyncNever leaves
+// flushing to the OS — faster, but a host crash may lose acknowledged
+// custody (a depot process crash alone does not).
+const (
+	FsyncAlways = custody.FsyncAlways
+	FsyncNever  = custody.FsyncNever
+)
+
+// ParseFsync maps the operator spellings ("always", "never"/"none",
+// "" = always) to a policy.
+func ParseFsync(s string) (FsyncPolicy, error) { return custody.ParseFsync(s) }
+
+// OpenCustody opens (or creates) the custody journal under dir,
+// recovering surviving sessions and discarding torn tail records and
+// orphaned payload files from a previous crash.
+func OpenCustody(dir string, cfg CustodyConfig) (*CustodyJournal, error) {
+	return custody.Open(dir, cfg)
+}
 
 // Re-exported errors.
 var (
