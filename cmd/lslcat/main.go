@@ -68,6 +68,7 @@ func main() {
 		from    = flag.String("from", "", "this host's node name in the -graph overlay")
 		autoRt  = flag.Bool("auto-route", false, "let the logistics planner choose and adapt the route (needs -graph and -from; implies the self-healing engine)")
 		stripes = flag.Int("stripes", 1, "stripe the stream over this many concurrent self-healing sessions (send needs -file or -bench; listen reassembles one group and exits)")
+		sockbuf = flag.String("sockbuf", "", "pin SO_SNDBUF/SO_RCVBUF to this size (e.g. 256K) on striped stripe dials; default keeps the kernel sizing")
 		quiet   = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -94,7 +95,7 @@ func main() {
 	case *listen != "":
 		runTarget(*listen, *quiet)
 	case *target != "":
-		runSender(*routeS, *target, *file, *sizeS, *benchS, *eager, *noDig, *retries, *stripes, *quiet, planner)
+		runSender(*routeS, *target, *file, *sizeS, *benchS, *sockbuf, *eager, *noDig, *retries, *stripes, *quiet, planner)
 	default:
 		log.Fatal("need -listen (receive) or -target (send); see -h")
 	}
@@ -156,7 +157,7 @@ func runTarget(addr string, quiet bool) {
 	}
 }
 
-func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest bool, retries, stripes int, quiet bool, planner *lsl.Planner) {
+func runSender(routeS, target, file, sizeS, benchS, sockbuf string, eager, noDigest bool, retries, stripes int, quiet bool, planner *lsl.Planner) {
 	route := lsl.Route{Target: target}
 	if routeS != "" {
 		route.Via = strings.Split(routeS, ",")
@@ -215,7 +216,7 @@ func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest bool,
 		if eager {
 			log.Fatal("-stripes and -eager are mutually exclusive")
 		}
-		runStriped(route, ra, size, stripes, retries, quiet, planner)
+		runStriped(route, ra, size, stripes, retries, sockbuf, quiet, planner)
 		return
 	}
 
@@ -272,10 +273,17 @@ func runSender(routeS, target, file, sizeS, benchS string, eager, noDigest bool,
 // runStriped sends src over stripes concurrent self-healing sessions.
 // With a planner the sessions land on link-disjoint routes weighted by
 // predicted throughput; without one, they share the given route.
-func runStriped(route lsl.Route, src io.ReaderAt, size int64, stripes, retries int, quiet bool, planner *lsl.Planner) {
+func runStriped(route lsl.Route, src io.ReaderAt, size int64, stripes, retries int, sockbuf string, quiet bool, planner *lsl.Planner) {
 	opts := []lsl.TransferOption{lsl.WithStripes(stripes)}
 	if retries > 0 {
 		opts = append(opts, lsl.WithTransferPolicy(lsl.TransferPolicy{MaxAttempts: retries + 1}))
+	}
+	if sockbuf != "" {
+		b, err := sizeparse.Parse(sockbuf)
+		if err != nil || b <= 0 || b > 1<<30 {
+			log.Fatalf("bad -sockbuf %q", sockbuf)
+		}
+		opts = append(opts, lsl.WithStripeSocketBuffers(int(b), int(b)))
 	}
 	if planner != nil {
 		opts = append(opts, lsl.WithPlanner(planner))
@@ -291,10 +299,11 @@ func runStriped(route lsl.Route, src io.ReaderAt, size int64, stripes, retries i
 	if !quiet {
 		el := time.Since(start)
 		fmt.Fprintf(os.Stderr,
-			"lslcat: group %s: %d bytes over %d stripes in %v = %.2f Mbit/s (heals %d, replans %d, abandoned %d, rebalances %d)\n",
+			"lslcat: group %s: %d bytes over %d stripes in %v = %.2f Mbit/s (heals %d, replans %d, abandoned %d, rebalances %d, stolen %d, speculated %d, tail %v)\n",
 			res.Group, res.Bytes, res.Stripes, el.Round(time.Millisecond),
 			float64(res.Bytes)*8/el.Seconds()/1e6,
-			res.Heals, res.Replans, res.Abandoned, res.Rebalances)
+			res.Heals, res.Replans, res.Abandoned, res.Rebalances,
+			res.FramesStolen, res.FramesSpeculated, res.Tail.Round(time.Millisecond))
 		for i, r := range res.Routes {
 			log.Printf("stripe %d: %d bytes via %v", i, res.StripeBytes[i], r.Hops())
 		}

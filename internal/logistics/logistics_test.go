@@ -276,6 +276,42 @@ func TestPlanStripesDisjointWeighted(t *testing.T) {
 	}
 }
 
+// Steal-skewed success feedback must reorder the next stripe plan: when
+// tail reclamation keeps migrating a slow stripe's frames onto the B
+// route, the per-stripe byte attribution fed back through ObserveSuccess
+// shows A achieving a fraction of its declared bandwidth — so the next
+// plan ranks and weights B ahead of A.
+func TestPlanStripesLearnsFromStealSkew(t *testing.T) {
+	p := newTestPlanner(t)
+	routes, _, err := p.PlanStripes("srv:7000", 64<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routes[0].Via[0] != "a:5000" {
+		t.Fatalf("precondition: fastest via %v", routes[0].Via)
+	}
+	viaA := core.Route{Via: []string{"a:5000"}, Target: "srv:7000"}
+	viaB := core.Route{Via: []string{"b:5000"}, Target: "srv:7000"}
+	// Five striped transfers where stealing left A with ~7% of the bytes:
+	// both stripes ran the same wall clock, so achieved bandwidth is the
+	// attribution ratio.
+	for i := 0; i < 5; i++ {
+		p.ObserveSuccess(viaA, 1<<20, 1.0, 0.005)
+		p.ObserveSuccess(viaB, 14<<20, 1.0, 0.020)
+	}
+	replanned, weights, err := p.PlanStripes("srv:7000", 64<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replanned[0].Via[0] != "b:5000" {
+		t.Fatalf("after steal-skewed attribution fastest via %v, want [b:5000] (weights %v)",
+			replanned[0].Via, weights)
+	}
+	if weights[0] <= weights[1] {
+		t.Fatalf("weights %v not reordered with the attribution", weights)
+	}
+}
+
 // Per-stripe failure feedback must reorder the next stripe plan: after a
 // stripe on the A route dies, B becomes the predicted-fastest route.
 func TestPlanStripesLearnsFromStripeFailure(t *testing.T) {

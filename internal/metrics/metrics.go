@@ -153,6 +153,37 @@ func (v *CounterVec) Sum() uint64 {
 	return total
 }
 
+// GaugeVec is a family of gauges partitioned by one label.
+type GaugeVec struct {
+	mu       sync.Mutex
+	label    string
+	children map[string]*Gauge
+}
+
+// With returns the child gauge for the label value, creating it on
+// first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[value]
+	if !ok {
+		g = &Gauge{}
+		v.children[value] = g
+	}
+	return g
+}
+
+// Sum totals the family across all label values.
+func (v *GaugeVec) Sum() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var total int64
+	for _, g := range v.children {
+		total += g.Value()
+	}
+	return total
+}
+
 // HistogramVec is a family of histograms partitioned by one label.
 type HistogramVec struct {
 	mu       sync.Mutex
@@ -183,6 +214,7 @@ type family struct {
 	fgauge          *FloatGauge
 	hist            *Histogram
 	counterVec      *CounterVec
+	gaugeVec        *GaugeVec
 	histVec         *HistogramVec
 }
 
@@ -234,6 +266,13 @@ func (r *Registry) FloatGauge(name, help string) *FloatGauge {
 	return g
 }
 
+// GaugeVec registers and returns a gauge family keyed by label.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{label: label, children: make(map[string]*Gauge)}
+	r.register(&family{name: name, help: help, typ: "gauge", gaugeVec: v})
+	return v
+}
+
 // Histogram registers and returns a histogram with the given upper
 // bounds (+Inf is implicit).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -276,6 +315,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case f.counterVec != nil:
 			for _, child := range f.counterVec.sorted() {
 				fmt.Fprintf(bw, "%s{%s=%q} %d\n", f.name, f.counterVec.label, child.value, child.c.Value())
+			}
+		case f.gaugeVec != nil:
+			for _, child := range f.gaugeVec.sorted() {
+				fmt.Fprintf(bw, "%s{%s=%q} %d\n", f.name, f.gaugeVec.label, child.value, child.g.Value())
 			}
 		case f.histVec != nil:
 			for _, child := range f.histVec.sorted() {
@@ -325,6 +368,11 @@ type counterChild struct {
 	c     *Counter
 }
 
+type gaugeChild struct {
+	value string
+	g     *Gauge
+}
+
 type histChild struct {
 	value string
 	h     *Histogram
@@ -337,6 +385,17 @@ func (v *CounterVec) sorted() []counterChild {
 	out := make([]counterChild, 0, len(v.children))
 	for lv, c := range v.children {
 		out = append(out, counterChild{lv, c})
+	}
+	v.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
+}
+
+func (v *GaugeVec) sorted() []gaugeChild {
+	v.mu.Lock()
+	out := make([]gaugeChild, 0, len(v.children))
+	for lv, g := range v.children {
+		out = append(out, gaugeChild{lv, g})
 	}
 	v.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })

@@ -201,6 +201,10 @@ type config struct {
 	frameSize      int
 	queueFrames    int
 	rebalanceBytes int64
+	stealThreshold float64
+	inflightBytes  int64
+	sockSnd        int
+	sockRcv        int
 	smet           *StripedMetrics
 }
 

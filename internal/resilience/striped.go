@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -50,6 +51,17 @@ type StripedMetrics struct {
 	StripeHeals *metrics.Counter
 	// FramesReassigned is lsl_stripe_frames_reassigned_total.
 	FramesReassigned *metrics.Counter
+	// FramesStolen is lsl_stripe_frames_stolen_total.
+	FramesStolen *metrics.Counter
+	// FramesSpeculated is lsl_stripe_frames_speculated_total.
+	FramesSpeculated *metrics.Counter
+	// Tail is lsl_stripe_tail_ns: time each group spent between the frame
+	// source running dry and the last stripe draining.
+	Tail *metrics.Histogram
+	// QueuedBytes is lsl_stripe_queued_bytes: each stripe index's
+	// currently committed (queued + in-flight + unacknowledged) bytes,
+	// sampled while a group is running.
+	QueuedBytes *metrics.GaugeVec
 }
 
 // NewStripedMetrics registers the lsl_stripe_* families on reg.
@@ -63,6 +75,16 @@ func NewStripedMetrics(reg *metrics.Registry) *StripedMetrics {
 			"Individual stripes re-attached after a mid-flow failure."),
 		FramesReassigned: reg.Counter("lsl_stripe_frames_reassigned_total",
 			"Frames requeued off dead or abandoned stripes."),
+		FramesStolen: reg.Counter("lsl_stripe_frames_stolen_total",
+			"Queued frames migrated off slow stripes at end-of-stream."),
+		FramesSpeculated: reg.Counter("lsl_stripe_frames_speculated_total",
+			"Tail frames duplicated onto faster stripes speculatively."),
+		Tail: reg.Histogram("lsl_stripe_tail_ns",
+			"End-of-stream tail per group: frame source dry to group drained (ns).",
+			[]float64{1e6, 5e6, 10e6, 25e6, 50e6, 100e6, 250e6, 1e9, 5e9}),
+		QueuedBytes: reg.GaugeVec("lsl_stripe_queued_bytes",
+			"Committed (queued + in-flight + unacked) bytes per stripe index.",
+			"stripe"),
 	}
 }
 
@@ -82,6 +104,25 @@ func WithRebalanceBytes(n int64) Option { return func(c *config) { c.rebalanceBy
 // WithStripedMetrics directs the lsl_stripe_* counters at m instead of
 // the package default registry.
 func WithStripedMetrics(m *StripedMetrics) Option { return func(c *config) { c.smet = m } }
+
+// WithStealThreshold sets the rate ratio a fast stripe must hold over a
+// slow one before end-of-stream work stealing and tail speculation kick
+// in (default stripe.DefaultStealThreshold; negative disables tail
+// reclamation entirely).
+func WithStealThreshold(v float64) Option { return func(c *config) { c.stealThreshold = v } }
+
+// WithInflightBytes bounds each stripe's unacknowledged bytes: > 0 is a
+// fixed per-stripe budget, 0 (default) adapts one from the receiver's
+// acked throughput, negative keeps only the legacy QueueFrames bound.
+func WithInflightBytes(n int64) Option { return func(c *config) { c.inflightBytes = n } }
+
+// WithSockBuffers pins SO_SNDBUF/SO_RCVBUF (bytes) on every striped
+// stripe dial; 0 keeps the kernel default. Shrinking the send buffer
+// caps how much a slow path can absorb ahead of delivery — the kernel's
+// contribution to the end-of-stream tail.
+func WithSockBuffers(snd, rcv int) Option {
+	return func(c *config) { c.sockSnd, c.sockRcv = snd, rcv }
+}
 
 // StripedResult reports how a striped transfer was achieved.
 type StripedResult struct {
@@ -107,6 +148,21 @@ type StripedResult struct {
 	Rebalances int64
 	// FramesReassigned counts frames requeued off dead stripes.
 	FramesReassigned int64
+	// FramesStolen counts queued frames migrated off slow stripes at
+	// end-of-stream.
+	FramesStolen int64
+	// FramesSpeculated counts tail frames duplicated onto faster stripes.
+	FramesSpeculated int64
+	// Superseded counts wedged stripes retired with their frames
+	// re-delivered elsewhere.
+	Superseded int
+	// Confirmed reports whether the receiver acked the whole stream as
+	// flushed (in which case StripeBytes is the receiver's attribution of
+	// which stripe landed each byte first).
+	Confirmed bool
+	// Tail is how long the group spent between the frame source running
+	// dry and the last stripe draining.
+	Tail time.Duration
 	// Duration is wall-clock time for the whole group.
 	Duration time.Duration
 }
@@ -116,6 +172,7 @@ type StripedResult struct {
 type stripeCtl struct {
 	route       core.Route
 	conn        *core.Conn
+	ackDone     chan error // current conn's ack reader exit status
 	dialSeconds float64
 	attempts    int // session dials consumed from the per-stripe budget
 	dialFails   int // consecutive first-hop dial failures (plannerless failover)
@@ -226,6 +283,8 @@ func StripedTransfer(ctx context.Context, routes []core.Route, src io.ReaderAt, 
 		idx int
 		err error
 	}
+	var emu sync.Mutex // guards ctls fields and res counters
+
 	// Each stripe can die at most once per attach and attach at most
 	// MaxAttempts times, so the channel never blocks the scheduler.
 	downCh := make(chan downEvent, n*(pol.MaxAttempts+2))
@@ -234,16 +293,34 @@ func StripedTransfer(ctx context.Context, routes []core.Route, src io.ReaderAt, 
 		Weights:        stripeWeights,
 		QueueFrames:    cfg.queueFrames,
 		RebalanceBytes: cfg.rebalanceBytes,
+		Acks:           true,
+		StealThreshold: cfg.stealThreshold,
+		InflightBytes:  cfg.inflightBytes,
 		OnStripeDown:   func(i int, err error) { downCh <- downEvent{i, err} },
 		OnRebalance:    func([]float64) { smet.Rebalances.Inc() },
 		OnReassign:     func(_, frames int) { smet.FramesReassigned.Add(uint64(frames)) },
-		Logf:           logf,
+		OnSteal: func(_, _, frames int) {
+			smet.FramesStolen.Add(uint64(frames))
+		},
+		OnSpeculate: func(_, _, frames int) {
+			smet.FramesSpeculated.Add(uint64(frames))
+		},
+		OnSuperseded: func(i int) {
+			// The wedged write only returns once its connection dies;
+			// the retired worker then self-retires on its stale
+			// generation, so no down event or heal follows.
+			emu.Lock()
+			if sc := ctls[i]; sc.conn != nil {
+				sc.conn.Close()
+				sc.conn = nil
+			}
+			emu.Unlock()
+		},
+		Logf: logf,
 	})
 	if err != nil {
 		return nil, err
 	}
-
-	var emu sync.Mutex // guards ctls fields and res counters
 
 	dialStripe := func(r core.Route) (*core.Conn, error) {
 		opts := []core.Option{core.WithSession(wire.NewSessionID())}
@@ -253,7 +330,26 @@ func StripedTransfer(ctx context.Context, routes []core.Route, src io.ReaderAt, 
 		if cfg.handshake > 0 {
 			opts = append(opts, core.WithHandshakeTimeout(cfg.handshake))
 		}
+		if cfg.sockSnd > 0 || cfg.sockRcv > 0 {
+			opts = append(opts, core.WithSocketBuffers(cfg.sockSnd, cfg.sockRcv))
+		}
 		return core.Dial(ctx, r, opts...)
+	}
+
+	// readAcks owns conn c's backward channel for stripe idx, stream
+	// generation gen: every delivery report feeds the scheduler's flow
+	// control and tail reclamation, and the reader's exit status (io.EOF
+	// once the cascade unwinds cleanly) lands on done for the confirm
+	// phase to collect.
+	readAcks := func(idx, gen int, c *core.Conn, done chan error) {
+		for {
+			a, rerr := stripe.ReadAck(c)
+			if rerr != nil {
+				done <- rerr
+				return
+			}
+			snd.Ack(idx, gen, a)
+		}
 	}
 
 	// replanStripe moves a stripe whose route keeps failing onto the best
@@ -367,16 +463,20 @@ func StripedTransfer(ctx context.Context, routes []core.Route, src io.ReaderAt, 
 				replanStripe(idx)
 				continue
 			}
+			ackDone := make(chan error, 1)
 			emu.Lock()
 			sc.conn = c
+			sc.ackDone = ackDone
 			sc.dialFails = 0
 			sc.dialSeconds = c.DialDuration().Seconds()
 			emu.Unlock()
-			if aerr := snd.Attach(idx, c); aerr != nil {
+			gen, aerr := snd.AttachGen(idx, c)
+			if aerr != nil {
 				// Abandoned (or already live) while we were dialing.
 				c.Close()
 				return
 			}
+			go readAcks(idx, gen, c, ackDone)
 			if isHeal {
 				smet.StripeHeals.Inc()
 				emu.Lock()
@@ -390,6 +490,32 @@ func StripedTransfer(ctx context.Context, routes []core.Route, src io.ReaderAt, 
 
 	runDone := make(chan error, 1)
 	go func() { runDone <- snd.Run(ctx) }()
+
+	// Sample each stripe's committed bytes into the queued-bytes gauge
+	// while the group runs; zero the children on the way out so a stuck
+	// gauge cannot outlive its group.
+	sampleStop := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				for i, qb := range snd.QueuedBytes() {
+					smet.QueuedBytes.With(strconv.Itoa(i)).Set(qb)
+				}
+			case <-sampleStop:
+				for i := 0; i < n; i++ {
+					smet.QueuedBytes.With(strconv.Itoa(i)).Set(0)
+				}
+				return
+			}
+		}
+	}()
+	defer func() { close(sampleStop); sampleWG.Wait() }()
 
 	var healWG sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -415,7 +541,18 @@ func StripedTransfer(ctx context.Context, routes []core.Route, src io.ReaderAt, 
 		defer emu.Unlock()
 		res.Rebalances = snd.Rebalances()
 		res.FramesReassigned = snd.Reassigned()
-		res.StripeBytes = snd.StripeBytes()
+		res.FramesStolen = snd.Stolen()
+		res.FramesSpeculated = snd.Speculated()
+		res.Superseded = int(snd.Superseded())
+		res.Confirmed = snd.Confirmed()
+		res.Tail = snd.TailDuration()
+		if res.Confirmed {
+			// The receiver's attribution: which stripe landed each byte
+			// first, speculative duplicates excluded.
+			res.StripeBytes = snd.AcceptedBytes()
+		} else {
+			res.StripeBytes = snd.StripeBytes()
+		}
 		res.Routes = make([]core.Route, n)
 		for i, sc := range ctls {
 			res.Routes[i] = sc.route
@@ -458,28 +595,62 @@ events:
 		return res, fmt.Errorf("resilience: group %s: %w", group, runErr)
 	}
 
-	// Confirm each stripe's delivery: half-close, then drain until the
-	// cascade unwinds. A stripe that cannot confirm is replayed in full
-	// onto a fresh session (the receiver drops the duplicates).
+	// Confirm each stripe's delivery. The backward channel belongs to the
+	// stripe's ack reader, so the drain half-closes and then waits for the
+	// reader to see the cascade unwind (io.EOF) — or for the receiver's
+	// flushed-everything ack, whichever lands first. A stripe that cannot
+	// confirm is replayed in full onto a fresh session (the receiver drops
+	// the duplicates).
 	confirmStripe := func(idx int) error {
 		sc := ctls[idx]
 		emu.Lock()
 		c := sc.conn
+		done := sc.ackDone
 		emu.Unlock()
 		if c == nil {
-			return nil // abandoned; its bytes were confirmed via the survivors
+			// Abandoned or superseded; its bytes were confirmed via the
+			// survivors.
+			return nil
 		}
-		drain := func(c *core.Conn) error {
+		drain := func(c *core.Conn, done chan error) error {
 			if err := c.CloseWrite(); err != nil {
 				return err
 			}
 			if cfg.confirmTimeout > 0 {
 				c.SetDeadline(time.Now().Add(cfg.confirmTimeout))
 			}
-			_, err := io.Copy(io.Discard, c)
-			return err
+			select {
+			case derr := <-done:
+				if errors.Is(derr, io.EOF) {
+					return nil
+				}
+				return derr
+			case <-snd.ConfirmedChan():
+				return nil
+			}
 		}
-		err := drain(c)
+		// A replayed session has no standing ack reader: pump the acks
+		// inline (generation -1 updates only the group-level flushed and
+		// attribution state, never a live stripe's rate) until the unwind.
+		replayDrain := func(c *core.Conn) error {
+			if err := c.CloseWrite(); err != nil {
+				return err
+			}
+			if cfg.confirmTimeout > 0 {
+				c.SetDeadline(time.Now().Add(cfg.confirmTimeout))
+			}
+			for {
+				a, rerr := stripe.ReadAck(c)
+				if rerr != nil {
+					if errors.Is(rerr, io.EOF) {
+						return nil
+					}
+					return rerr
+				}
+				snd.Ack(idx, -1, a)
+			}
+		}
+		err := drain(c, done)
 		if err == nil {
 			return nil
 		}
@@ -525,7 +696,7 @@ events:
 				}
 				continue
 			}
-			if derr := drain(c2); derr != nil {
+			if derr := replayDrain(c2); derr != nil {
 				c2.Close()
 				err = derr
 				continue
@@ -535,6 +706,7 @@ events:
 				sc.conn.Close()
 			}
 			sc.conn = c2
+			sc.ackDone = nil
 			emu.Unlock()
 			smet.StripeHeals.Inc()
 			emu.Lock()
@@ -544,27 +716,38 @@ events:
 			return nil
 		}
 	}
-	confErrs := make(chan error, n)
-	var confWG sync.WaitGroup
-	for i := 0; i < n; i++ {
-		confWG.Add(1)
-		go func(idx int) {
-			defer confWG.Done()
-			if err := confirmStripe(idx); err != nil {
-				confErrs <- fmt.Errorf("resilience: group %s: %w", group, err)
-			}
-		}(i)
-	}
-	confWG.Wait()
-	close(confErrs)
-	if err := <-confErrs; err != nil {
-		closeAll()
-		finish()
-		return res, err
+	// With the receiver's flushed-everything ack already in hand there is
+	// nothing left to confirm: every byte is delivered and attributed, so
+	// skip the per-stripe unwind (and with it any wait on a slow path's
+	// buffered backlog — the whole point of the tail work).
+	if snd.Confirmed() {
+		logf("resilience: group %s confirmed by receiver ack", group)
+	} else {
+		confErrs := make(chan error, n)
+		var confWG sync.WaitGroup
+		for i := 0; i < n; i++ {
+			confWG.Add(1)
+			go func(idx int) {
+				defer confWG.Done()
+				if err := confirmStripe(idx); err != nil {
+					confErrs <- fmt.Errorf("resilience: group %s: %w", group, err)
+				}
+			}(i)
+		}
+		confWG.Wait()
+		close(confErrs)
+		if err := <-confErrs; err != nil {
+			closeAll()
+			finish()
+			return res, err
+		}
 	}
 
 	if cfg.planner != nil {
 		sb := snd.StripeBytes()
+		if snd.Confirmed() {
+			sb = snd.AcceptedBytes()
+		}
 		dur := time.Since(start).Seconds()
 		emu.Lock()
 		for i, sc := range ctls {
@@ -576,5 +759,8 @@ events:
 	}
 	closeAll()
 	finish()
+	if res.Tail > 0 {
+		smet.Tail.Observe(float64(res.Tail.Nanoseconds()))
+	}
 	return res, nil
 }

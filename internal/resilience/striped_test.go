@@ -231,6 +231,81 @@ func TestStripedTransferCleanPath(t *testing.T) {
 	}
 }
 
+// The end-of-stream tail acceptance case: one of two stripes wedges —
+// its connection stays up but writes block forever — with frames still
+// queued and in flight. The group must steal the queued frames onto the
+// healthy stripe, speculatively duplicate the wedged in-flight tail,
+// supersede the dead weight, and confirm by receiver ack — byte-exact,
+// with no frame double-counted in the per-stripe attribution.
+func TestStripedTransferStealsFromStalledStripe(t *testing.T) {
+	st := newStripedTarget(t)
+	depAAddr, _ := startDepot(t, depot.Config{})
+	depBAddr, _ := startDepot(t, depot.Config{})
+	payload := randBytes(2<<20, 24)
+
+	// Stripe 1's first session wedges after 400 KB: alive, paced slow,
+	// never delivering another byte. Stripe 0 is paced but healthy.
+	fn := faultnet.New(nil)
+	fn.Script(depAAddr, faultnet.Step{WriteLatency: 200 * time.Microsecond})
+	fn.Script(depBAddr, faultnet.Step{WriteLatency: time.Millisecond, StallAfterBytes: 400_000})
+
+	smet := resilience.NewStripedMetrics(metrics.NewRegistry())
+	res, err := resilience.StripedTransfer(context.Background(),
+		[]core.Route{
+			{Via: []string{depAAddr}, Target: st.addr()},
+			{Via: []string{depBAddr}, Target: st.addr()},
+		},
+		bytes.NewReader(payload), int64(len(payload)),
+		resilience.WithPolicy(fastPolicy()),
+		resilience.WithDialer(fn.DialContext),
+		resilience.WithFrameSize(32<<10),
+		// A fixed in-flight budget keeps frames queued on the wedged
+		// stripe (deterministic steal bait) instead of adapting down.
+		resilience.WithInflightBytes(256<<10),
+		resilience.WithStripedMetrics(smet),
+		resilience.WithLogf(t.Logf))
+	if err != nil {
+		t.Fatalf("striped transfer did not reclaim the stalled tail: %v", err)
+	}
+	st.wait(t, payload)
+
+	if res.FramesStolen < 1 {
+		t.Fatalf("frames stolen=%d, want >= 1", res.FramesStolen)
+	}
+	if res.FramesSpeculated < 1 {
+		t.Fatalf("frames speculated=%d, want >= 1 (the wedged in-flight frame)", res.FramesSpeculated)
+	}
+	if res.Superseded < 1 {
+		t.Fatalf("superseded=%d, want >= 1 — the wedged stripe cannot end on its own", res.Superseded)
+	}
+	if !res.Confirmed {
+		t.Fatal("group should confirm via receiver ack")
+	}
+	var sum int64
+	for _, b := range res.StripeBytes {
+		if b < 0 {
+			t.Fatalf("negative stripe attribution: %v", res.StripeBytes)
+		}
+		sum += b
+	}
+	if sum != int64(len(payload)) {
+		t.Fatalf("stripe bytes sum %d, want %d — a duplicate was double-counted (%v)",
+			sum, len(payload), res.StripeBytes)
+	}
+	if got := smet.FramesStolen.Value(); got < 1 {
+		t.Fatalf("lsl_stripe_frames_stolen_total=%d, want >= 1", got)
+	}
+	if got := smet.FramesSpeculated.Value(); got < 1 {
+		t.Fatalf("lsl_stripe_frames_speculated_total=%d, want >= 1", got)
+	}
+	if got := smet.Tail.Count(); got != 1 {
+		t.Fatalf("lsl_stripe_tail_ns count=%d, want 1 observation", got)
+	}
+	if res.Heals != 0 {
+		t.Fatalf("heals=%d, want 0 — supersession must not trigger a redial", res.Heals)
+	}
+}
+
 // A stripe whose depot refuses every dial is abandoned after its budget
 // and the survivors deliver its share.
 func TestStripedTransferAbandonsHopelessStripe(t *testing.T) {

@@ -29,6 +29,38 @@ func FuzzReadGroupHeader(f *testing.F) {
 	})
 }
 
+// FuzzReadAck must never panic, never accept more than MaxStripes
+// per-stripe entries, and never hand back a negative byte count — every
+// value comes off the network and feeds scheduler arithmetic.
+func FuzzReadAck(f *testing.F) {
+	ok := &Ack{Flushed: 1 << 30, Seen: 12345, Accepted: []int64{1, 2, 3}}
+	f.Add(ok.Encode())
+	f.Add((&Ack{}).Encode())
+	f.Add([]byte("LSLA"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := ReadAck(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(a.Accepted) > MaxStripes {
+			t.Fatalf("%d accepted entries over MaxStripes", len(a.Accepted))
+		}
+		if a.Flushed < 0 || a.Seen < 0 {
+			t.Fatalf("negative counts accepted: %+v", a)
+		}
+		for _, v := range a.Accepted {
+			if v < 0 {
+				t.Fatalf("negative accepted entry: %+v", a)
+			}
+		}
+		// Accepted records must re-encode to the bytes they came from.
+		enc := a.Encode()
+		if !bytes.Equal(enc, data[:len(enc)]) {
+			t.Fatalf("re-encode mismatch: %+v", a)
+		}
+	})
+}
+
 // FuzzReadStripeFrame must never panic and must never hand back a length
 // above MaxFrameSize — that length is fed to make([]byte, n) by callers.
 func FuzzReadStripeFrame(f *testing.F) {

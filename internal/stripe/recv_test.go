@@ -185,6 +185,154 @@ func TestReceiverRejectsCorruptReplay(t *testing.T) {
 	}
 }
 
+// TestReceiverSpeculativeDuplicates models tail speculation: two live
+// stripes concurrently deliver exact duplicates of the same tail frames
+// (different stripe indexes, same group). The first copy wins, the stream
+// is byte-exact, and the receiver's attribution counts every byte exactly
+// once.
+func TestReceiverSpeculativeDuplicates(t *testing.T) {
+	payload := make([]byte, 64<<10)
+	rand.New(rand.NewSource(23)).Read(payload)
+	const fs = 8 << 10
+	var out bytes.Buffer
+	recv := NewReceiver(&out)
+	group := wire.NewSessionID()
+
+	// Stripe 0 carries the whole stream; stripe 1 speculatively
+	// duplicates the last two frames and ends.
+	var s0 bytes.Buffer
+	s0.Write((&GroupHeader{Group: group, Index: 0, Count: 2, TotalLen: uint64(len(payload))}).Encode())
+	for off := 0; off < len(payload); off += fs {
+		writeFrame(&s0, uint64(off), payload[off:off+fs])
+	}
+	writeFrame(&s0, uint64(len(payload)), nil)
+	var s1 bytes.Buffer
+	s1.Write((&GroupHeader{Group: group, Index: 1, Count: 2, TotalLen: uint64(len(payload))}).Encode())
+	for off := len(payload) - 2*fs; off < len(payload); off += fs {
+		writeFrame(&s1, uint64(off), payload[off:off+fs])
+	}
+	writeFrame(&s1, uint64(len(payload)), nil)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for _, stream := range [][]byte{s0.Bytes(), s1.Bytes()} {
+		wg.Add(1)
+		go func(b []byte) {
+			defer wg.Done()
+			if err := recv.Attach(bytes.NewReader(b)); err != nil {
+				errs <- err
+			}
+		}(stream)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if !recv.Complete() || !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("speculative duplicates corrupted the stream")
+	}
+	var sum int64
+	for _, b := range recv.AcceptedBytes() {
+		sum += b
+	}
+	if sum != int64(len(payload)) {
+		t.Fatalf("accepted sum %d, want %d (double-counted duplicate?)", sum, len(payload))
+	}
+}
+
+// TestReceiverRejectsCorruptDuplicateAcrossStripes: a second stripe
+// replaying an overlapping range with different frame boundaries is
+// corruption even when it arrives on a different live stripe index.
+func TestReceiverRejectsCorruptDuplicateAcrossStripes(t *testing.T) {
+	recv := NewReceiver(io.Discard)
+	group := wire.NewSessionID()
+	var s0 bytes.Buffer
+	s0.Write((&GroupHeader{Group: group, Index: 0, Count: 2, TotalLen: 64}).Encode())
+	writeFrame(&s0, 16, make([]byte, 16)) // pending (head missing)
+	s0.Write([]byte{0})
+	if err := recv.Attach(&s0); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	var s1 bytes.Buffer
+	s1.Write((&GroupHeader{Group: group, Index: 1, Count: 2, TotalLen: 64}).Encode())
+	writeFrame(&s1, 16, make([]byte, 8)) // same offset, different length
+	if err := recv.Attach(&s1); !errors.Is(err, ErrFrameOverlap) {
+		t.Fatalf("got %v, want ErrFrameOverlap", err)
+	}
+}
+
+// rwStream glues a stream's forward (read) and backward (write) channels
+// together the way a duplex session does, for ack tests.
+type rwStream struct {
+	io.Reader
+	w io.Writer
+}
+
+func (s *rwStream) Write(p []byte) (int, error) { return s.w.Write(p) }
+
+// TestReceiverAcks: a stream opened with the ack-requesting header gets
+// cadence acks, and the final ack reports the whole stream flushed with
+// per-stripe attribution.
+func TestReceiverAcks(t *testing.T) {
+	payload := make([]byte, 64<<10)
+	rand.New(rand.NewSource(24)).Read(payload)
+	const fs = 8 << 10
+	var out bytes.Buffer
+	recv := NewReceiver(&out)
+	recv.SetAckEvery(16 << 10)
+
+	var s bytes.Buffer
+	s.Write((&GroupHeader{Group: wire.NewSessionID(), Index: 0, Count: 1,
+		TotalLen: uint64(len(payload)), Acks: true}).Encode())
+	for off := 0; off < len(payload); off += fs {
+		writeFrame(&s, uint64(off), payload[off:off+fs])
+	}
+	writeFrame(&s, uint64(len(payload)), nil)
+
+	var back bytes.Buffer
+	if err := recv.Attach(&rwStream{Reader: &s, w: &back}); err != nil {
+		t.Fatal(err)
+	}
+	if !recv.Complete() || !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("stream corrupted")
+	}
+	var acks []*Ack
+	for back.Len() > 0 {
+		a, err := ReadAck(&back)
+		if err != nil {
+			t.Fatalf("ack stream: %v", err)
+		}
+		acks = append(acks, a)
+	}
+	if len(acks) < 2 {
+		t.Fatalf("got %d acks, want cadence acks plus the final one", len(acks))
+	}
+	last := acks[len(acks)-1]
+	if last.Flushed != int64(len(payload)) {
+		t.Fatalf("final flushed %d, want %d", last.Flushed, len(payload))
+	}
+	if last.Seen != int64(len(payload)) {
+		t.Fatalf("final seen %d, want %d", last.Seen, len(payload))
+	}
+	if len(last.Accepted) != 1 || last.Accepted[0] != int64(len(payload)) {
+		t.Fatalf("final accepted %v", last.Accepted)
+	}
+	// A classic "LSLS" stream must get no acks at all.
+	recv2 := NewReceiver(io.Discard)
+	var s2 bytes.Buffer
+	s2.Write((&GroupHeader{Group: wire.NewSessionID(), Index: 0, Count: 1, TotalLen: 8}).Encode())
+	writeFrame(&s2, 0, make([]byte, 8))
+	writeFrame(&s2, 8, nil)
+	var back2 bytes.Buffer
+	if err := recv2.Attach(&rwStream{Reader: &s2, w: &back2}); err != nil {
+		t.Fatal(err)
+	}
+	if back2.Len() != 0 {
+		t.Fatalf("ackless stream got %d backward bytes", back2.Len())
+	}
+}
+
 // TestReceiverConcurrentReplays hammers the dedup path: many goroutines
 // replay overlapping copies of the same stripe stream.
 func TestReceiverConcurrentReplays(t *testing.T) {

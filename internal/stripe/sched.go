@@ -21,12 +21,13 @@ import (
 
 // Stripe lifecycle states.
 const (
-	stripeIdle      = iota // declared but never attached
-	stripeLive             // attached, worker dispatching frames
-	stripeEnding           // worker committed to writing its end frame
-	stripeFinished         // end frame delivered
-	stripeDead             // write failed; awaiting heal (re-Attach) or Abandon
-	stripeAbandoned        // given up; its frames were reassigned
+	stripeIdle       = iota // declared but never attached
+	stripeLive              // attached, worker dispatching frames
+	stripeEnding            // worker committed to writing its end frame
+	stripeFinished          // end frame delivered
+	stripeDead              // write failed; awaiting heal (re-Attach) or Abandon
+	stripeAbandoned         // given up; its frames were reassigned
+	stripeSuperseded        // write wedged; every frame re-delivered elsewhere
 )
 
 // Scheduler phases.
@@ -40,9 +41,58 @@ const (
 // to backpressure from a slowing path.
 const DefaultQueueFrames = 4
 
+// Tail-reclamation tuning (see steal.go).
+const (
+	// DefaultStealThreshold is the rate ratio a thief must have over a
+	// victim before queued frames migrate or sent frames are speculated.
+	DefaultStealThreshold = 1.5
+	// DefaultStuckTimeout is how long one frame write may block before
+	// the stripe is treated as wedged (rate 0) and, once every one of its
+	// frames is covered by another stripe, superseded outright.
+	DefaultStuckTimeout = 750 * time.Millisecond
+	// defaultInflightHorizon sizes the adaptive per-stripe in-flight byte
+	// budget: acked-throughput × horizon, a bandwidth-delay-product-style
+	// clamp on how much a slow path may hoard. It must comfortably exceed
+	// the ack feedback latency (delivery bursts batch acks on loaded
+	// hosts), and because every stripe's budget drains in the same wall
+	// time — one horizon — the end-of-stream pipes empty concurrently.
+	defaultInflightHorizon = 45 * time.Millisecond
+	// minAckRateWindow is the shortest interval ackBps may be measured
+	// over. Acks often arrive in bursts (relay scheduling, coalescing);
+	// rating individual inter-ack gaps would swing between near-zero and
+	// absurd, so the drain rate is measured across windows at least this
+	// long.
+	minAckRateWindow = 25 * time.Millisecond
+	// maintenanceTick re-evaluates time-based conditions (stuck writes,
+	// ack staleness) while the dispatcher would otherwise sleep.
+	maintenanceTick = 15 * time.Millisecond
+	// maxInflightBudget caps the adaptive budget regardless of rate.
+	maxInflightBudget = 64 << 20
+)
+
 type frame struct {
 	off int64
 	n   int
+}
+
+// specFrame is a speculative duplicate queued on a thief stripe: a copy
+// of a frame the victim stripe has sent (or is wedged mid-write on) but
+// the receiver has not yet confirmed.
+type specFrame struct {
+	frame
+	victim    int
+	victimGen int
+}
+
+// specRec records one completed speculative write, keyed by frame offset
+// in Sender.specDone. Coverage is only valid while both generations
+// still stand.
+type specRec struct {
+	victim    int
+	victimGen int
+	thief     int
+	thiefGen  int
+	n         int
 }
 
 // SenderConfig tunes a Sender. The zero value is usable.
@@ -71,23 +121,63 @@ type SenderConfig struct {
 	// OnReassign fires when a dead stripe's frames are requeued for
 	// other stripes.
 	OnReassign func(index, frames int)
+	// Acks opens stripe streams with the ack-requesting "LSLT" header so
+	// an ack-capable receiver reports delivery on the backward channel
+	// (feed the records in via Sender.Ack). Old receivers reject "LSLT",
+	// so only enable against peers known to run this version.
+	Acks bool
+	// StealThreshold is the thief/victim rate ratio gating end-of-stream
+	// work stealing and tail speculation. 0 means DefaultStealThreshold;
+	// negative disables stealing, speculation, and supersession.
+	StealThreshold float64
+	// InflightBytes bounds each stripe's unacknowledged bytes once acks
+	// are flowing: >0 is a fixed per-stripe budget, 0 derives one
+	// adaptively from acked throughput (rate × a short horizon,
+	// BDP-style), and negative keeps the legacy QueueFrames frame-count
+	// bound only. Without acks the frame-count bound always governs.
+	InflightBytes int64
+	// StuckTimeout is how long one frame write may block before the
+	// stripe counts as wedged (default DefaultStuckTimeout).
+	StuckTimeout time.Duration
+	// OnSteal fires after queued frames migrate from a slow stripe to a
+	// faster one at end-of-stream.
+	OnSteal func(victim, thief, frames int)
+	// OnSpeculate fires after a thief queues duplicates of a victim's
+	// unconfirmed tail frames.
+	OnSpeculate func(victim, thief, frames int)
+	// OnSuperseded fires when a wedged stripe is retired because every
+	// one of its frames was re-delivered elsewhere; the engine should
+	// close the stripe's connection to unblock the wedged write.
+	OnSuperseded func(index int)
 	// Logf, if set, receives debug lines.
 	Logf func(format string, args ...any)
 }
 
 type stripeState struct {
-	state    int
-	gen      int // bumped each Attach/Abandon; stale workers self-retire
-	w        io.Writer
-	queue    []frame // dispatched, not yet picked up by the worker
-	inflight bool
-	cur      frame   // frame the worker is writing right now
-	sent     []frame // frames written this generation (replayed on death)
-	bytes    int64   // payload bytes successfully written, all generations
-	weight   float64
-	credit   float64
-	ewmaBps  float64
-	lastErr  error
+	state      int
+	gen        int // bumped each Attach/Abandon; stale workers self-retire
+	w          io.Writer
+	queue      []frame // dispatched, not yet picked up by the worker
+	specq      []specFrame
+	inflight   bool
+	cur        frame     // frame the worker is writing right now
+	curSpec    bool      // cur is a speculative duplicate a victim still owns
+	writeStart time.Time // when the in-flight frame write began
+	sent       []frame   // frames written this generation (replayed on death)
+	bytes      int64     // payload bytes successfully written, all generations
+	weight     float64
+	credit     float64
+	ewmaBps    float64 // write-side throughput (local pipe acceptance)
+	// Ack-side accounting, reset each generation.
+	pipeWritten int64 // payload bytes written into this gen's stream
+	ackSeen     int64 // receiver-reported bytes drained from this gen
+	genAcked    bool
+	ackBps      float64 // receiver-observed drain throughput EWMA
+	lastAckAt   time.Time
+	ackWinAt    time.Time // start of the current rate-measurement window
+	ackWinSeen  int64     // ackSeen at the window start
+	attachedAt  time.Time
+	lastErr     error
 }
 
 // Sender stripes src (of length total) across up to `stripes` attached
@@ -110,9 +200,16 @@ type Sender struct {
 	frameSize      int
 	queueFrames    int
 	rebalanceBytes int64
+	acks           bool
+	stealThreshold float64 // < 0: reclamation disabled
+	inflightBytes  int64
+	stuckTimeout   time.Duration
 	onStripeDown   func(int, error)
 	onRebalance    func([]float64)
 	onReassign     func(int, int)
+	onSteal        func(int, int, int)
+	onSpeculate    func(int, int, int)
+	onSuperseded   func(int)
 	logf           func(string, ...any)
 
 	mu      sync.Mutex
@@ -126,6 +223,24 @@ type Sender struct {
 	sinceRebalance int64
 	rebalances     int64
 	reassigned     int64
+	stolen         int64
+	speculated     int64
+	superseded     int64
+
+	// Speculative-duplicate bookkeeping, keyed by frame offset.
+	specPending map[int64]bool    // queued on some thief, not yet written
+	specDone    map[int64]specRec // written by a thief, unconfirmed
+
+	// Receiver feedback (ack mode).
+	ackedFlushed    int64
+	ackAccepted     []int64
+	acksObserved    bool
+	lastAckProgress time.Time
+	confirmed       bool
+	confirmCh       chan struct{}
+
+	tailStart time.Time // first moment the frame source ran dry
+	tailDur   time.Duration
 
 	running bool
 	done    bool
@@ -151,6 +266,14 @@ func NewSender(group wire.SessionID, src io.ReaderAt, total int64, stripes int, 
 	if qf <= 0 {
 		qf = DefaultQueueFrames
 	}
+	steal := cfg.StealThreshold
+	if steal == 0 {
+		steal = DefaultStealThreshold
+	}
+	stuck := cfg.StuckTimeout
+	if stuck <= 0 {
+		stuck = DefaultStuckTimeout
+	}
 	s := &Sender{
 		group:          group,
 		src:            src,
@@ -158,11 +281,22 @@ func NewSender(group wire.SessionID, src io.ReaderAt, total int64, stripes int, 
 		frameSize:      fs,
 		queueFrames:    qf,
 		rebalanceBytes: cfg.RebalanceBytes,
+		acks:           cfg.Acks,
+		stealThreshold: steal,
+		inflightBytes:  cfg.InflightBytes,
+		stuckTimeout:   stuck,
 		onStripeDown:   cfg.OnStripeDown,
 		onRebalance:    cfg.OnRebalance,
 		onReassign:     cfg.OnReassign,
+		onSteal:        cfg.OnSteal,
+		onSpeculate:    cfg.OnSpeculate,
+		onSuperseded:   cfg.OnSuperseded,
 		logf:           cfg.Logf,
 		stripes:        make([]*stripeState, stripes),
+		specPending:    make(map[int64]bool),
+		specDone:       make(map[int64]specRec),
+		ackAccepted:    make([]int64, stripes),
+		confirmCh:      make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := range s.stripes {
@@ -180,27 +314,45 @@ func NewSender(group wire.SessionID, src io.ReaderAt, total int64, stripes int, 
 // the new worker re-sends the group header and receives the dead
 // generation's requeued frames through normal dispatch.
 func (s *Sender) Attach(index int, w io.Writer) error {
+	_, err := s.AttachGen(index, w)
+	return err
+}
+
+// AttachGen is Attach returning the new stream's generation, which a
+// per-connection ack reader passes to Ack so reports from a dead
+// stream's leftovers can never be credited to its replacement.
+func (s *Sender) AttachGen(index int, w io.Writer) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if index < 0 || index >= len(s.stripes) {
-		return fmt.Errorf("stripe: attach index %d out of range", index)
+		return 0, fmt.Errorf("stripe: attach index %d out of range", index)
 	}
 	st := s.stripes[index]
 	switch st.state {
 	case stripeIdle, stripeDead:
 	case stripeAbandoned:
-		return fmt.Errorf("stripe %d: attach after abandon", index)
+		return 0, fmt.Errorf("stripe %d: attach after abandon", index)
+	case stripeSuperseded:
+		return 0, fmt.Errorf("stripe %d: attach after supersession", index)
 	default:
-		return fmt.Errorf("stripe %d: already attached", index)
+		return 0, fmt.Errorf("stripe %d: already attached", index)
 	}
 	st.gen++
 	st.w = w
 	st.state = stripeLive
 	st.credit = 0
 	st.lastErr = nil
+	st.pipeWritten = 0
+	st.ackSeen = 0
+	st.genAcked = false
+	st.ackBps = 0
+	st.lastAckAt = time.Time{}
+	st.ackWinAt = time.Time{}
+	st.ackWinSeen = 0
+	st.attachedAt = time.Now()
 	go s.worker(index, st.gen)
 	s.cond.Broadcast()
-	return nil
+	return st.gen, nil
 }
 
 // Abandon permanently retires a stripe (heal budget exhausted): its
@@ -242,12 +394,36 @@ func (s *Sender) Abandon(index int, err error) {
 // the stripe's byte count: they died with the connection, and whichever
 // stripe rewrites them gets the credit, so StripeBytes always sums to
 // the delivered stream length.
+//
+// Speculative duplicates this stripe was carrying for a victim are
+// dropped, not requeued — the victim still owns those frames, and
+// requeuing a duplicate would double-deliver the credit. Any coverage
+// this stripe provided as a thief, or held as a victim, is invalidated.
 func (s *Sender) requeueStripeLocked(st *stripeState) int {
+	index := -1
+	for i, other := range s.stripes {
+		if other == st {
+			index = i
+			break
+		}
+	}
 	n := 0
 	if st.inflight {
-		s.requeue = append(s.requeue, st.cur)
+		if !st.curSpec {
+			s.requeue = append(s.requeue, st.cur)
+			n++
+		}
 		st.inflight = false
-		n++
+		st.curSpec = false
+	}
+	for _, sf := range st.specq {
+		delete(s.specPending, sf.off)
+	}
+	st.specq = nil
+	for off, rec := range s.specDone {
+		if rec.thief == index || rec.victim == index {
+			delete(s.specDone, off)
+		}
 	}
 	s.requeue = append(s.requeue, st.queue...)
 	n += len(st.queue)
@@ -317,6 +493,7 @@ func (s *Sender) worker(index, gen int) {
 		Index:    uint8(index),
 		Count:    uint8(len(s.stripes)),
 		TotalLen: uint64(s.total),
+		Acks:     s.acks,
 	}
 	if _, err := w.Write(gh.Encode()); err != nil {
 		s.stripeDown(index, gen, fmt.Errorf("group header: %w", err))
@@ -325,15 +502,35 @@ func (s *Sender) worker(index, gen int) {
 
 	for {
 		s.mu.Lock()
+		var f frame
+		var isSpec bool
+		var specVictim, specVictimGen int
+	pick:
 		for {
 			if st.gen != gen || s.failErr != nil || s.done {
 				s.mu.Unlock()
 				return
 			}
 			if len(st.queue) > 0 {
+				f = st.queue[0]
+				st.queue = st.queue[1:]
 				break
 			}
-			if s.phase == phaseEnd && !st.inflight {
+			for len(st.specq) > 0 {
+				sf := st.specq[0]
+				st.specq = st.specq[1:]
+				delete(s.specPending, sf.off)
+				// A victim that died, healed, or was superseded since the
+				// duplicate was queued no longer owns this frame: skip it.
+				vs := s.stripes[sf.victim]
+				if vs.gen != sf.victimGen || !victimHoldsFrames(vs.state) {
+					continue
+				}
+				f = sf.frame
+				isSpec, specVictim, specVictimGen = true, sf.victim, sf.victimGen
+				break pick
+			}
+			if s.phase == phaseEnd && !st.inflight && s.mayEndLocked() {
 				// Commit to the end frame before unlocking so the
 				// dispatcher cannot hand this stripe more data if
 				// another stripe's death reopens the data phase.
@@ -354,10 +551,10 @@ func (s *Sender) worker(index, gen int) {
 			}
 			s.cond.Wait()
 		}
-		f := st.queue[0]
-		st.queue = st.queue[1:]
 		st.inflight = true
 		st.cur = f
+		st.curSpec = isSpec
+		st.writeStart = time.Now()
 		s.cond.Broadcast() // queue slot freed
 		s.mu.Unlock()
 
@@ -384,9 +581,25 @@ func (s *Sender) worker(index, gen int) {
 			return
 		}
 		st.inflight = false
-		st.sent = append(st.sent, f)
-		st.bytes += int64(f.n)
+		st.curSpec = false
+		st.pipeWritten += int64(f.n)
 		s.written += int64(f.n)
+		if isSpec {
+			// The duplicate is on the wire, but the frame still belongs to
+			// its victim: record coverage, never credit the thief's sent
+			// list, so StripeBytes cannot double-count. Attribution moves
+			// only if the victim is later superseded.
+			vs := s.stripes[specVictim]
+			if vs.gen == specVictimGen && victimHoldsFrames(vs.state) {
+				s.specDone[f.off] = specRec{
+					victim: specVictim, victimGen: specVictimGen,
+					thief: index, thiefGen: gen, n: f.n,
+				}
+			}
+		} else {
+			st.sent = append(st.sent, f)
+			st.bytes += int64(f.n)
+		}
 		if sec := elapsed.Seconds(); sec > 0 {
 			bps := float64(f.n) / sec
 			if st.ewmaBps == 0 {
@@ -407,14 +620,27 @@ func (s *Sender) worker(index, gen int) {
 	}
 }
 
+// victimHoldsFrames reports whether a stripe in the given state still
+// owns its sent-but-unconfirmed frames (so duplicating them helps).
+func victimHoldsFrames(state int) bool {
+	switch state {
+	case stripeLive, stripeEnding, stripeFinished:
+		return true
+	}
+	return false
+}
+
 // rebalanceLocked resets each live stripe's weight to its observed
-// throughput EWMA, so the credit dispatcher tracks what the paths are
-// actually delivering rather than what the planner predicted.
+// throughput, so the credit dispatcher tracks what the paths are
+// actually delivering rather than what the planner predicted. The
+// receiver-acked drain rate is preferred when available: the write-side
+// EWMA measures local pipe acceptance, which kernel and relay buffering
+// can inflate far beyond what the path delivers.
 func (s *Sender) rebalanceLocked() []float64 {
 	s.sinceRebalance = 0
 	sampled := false
 	for _, st := range s.stripes {
-		if st.state == stripeLive && st.ewmaBps > 0 {
+		if st.state == stripeLive && (st.ackBps > 0 || st.ewmaBps > 0) {
 			sampled = true
 			break
 		}
@@ -424,8 +650,12 @@ func (s *Sender) rebalanceLocked() []float64 {
 	}
 	out := make([]float64, len(s.stripes))
 	for i, st := range s.stripes {
-		if st.state == stripeLive && st.ewmaBps > 0 {
-			st.weight = st.ewmaBps
+		if st.state == stripeLive {
+			if st.ackBps > 0 {
+				st.weight = st.ackBps
+			} else if st.ewmaBps > 0 {
+				st.weight = st.ewmaBps
+			}
 		}
 		out[i] = st.weight
 	}
@@ -443,11 +673,7 @@ func (s *Sender) pickStripeLocked(n int) int {
 	var elig []int
 	maxW := 0.0
 	for i, st := range s.stripes {
-		inflight := 0
-		if st.inflight {
-			inflight = 1
-		}
-		if st.state == stripeLive && len(st.queue)+inflight < s.queueFrames {
+		if s.eligibleLocked(st, n) {
 			elig = append(elig, i)
 			if st.weight > maxW {
 				maxW = st.weight
@@ -508,6 +734,22 @@ func (s *Sender) Run(ctx context.Context) error {
 		case <-stop:
 		}
 	}()
+	if s.stealThreshold >= 0 || s.acks {
+		// Stuck-write detection, ack staleness, and the end-frame gate are
+		// time-based; nudge the dispatcher while it would otherwise sleep.
+		go func() {
+			t := time.NewTicker(maintenanceTick)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.cond.Broadcast()
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -544,7 +786,21 @@ func (s *Sender) Run(ctx context.Context) error {
 				s.cond.Broadcast()
 				return fmt.Errorf("stripe: frames remain but every stripe is finished or abandoned (%w)", s.firstStripeErrLocked())
 			}
+			// Frames exist but no stripe has budget. A wedged stripe whose
+			// every frame is already covered elsewhere can still be retired
+			// here, freeing the group to make progress.
+			if s.runMaintenance(false) {
+				continue
+			}
 			s.cond.Wait()
+			continue
+		}
+		// The frame source is dry: the end-of-stream tail begins. Reclaim
+		// work from slow stripes before settling into the end phase.
+		if s.tailStart.IsZero() {
+			s.tailStart = time.Now()
+		}
+		if s.runMaintenance(true) {
 			continue
 		}
 		if s.phase == phaseData && s.quiescentLocked() {
@@ -554,11 +810,43 @@ func (s *Sender) Run(ctx context.Context) error {
 		}
 		if s.phase == phaseEnd && s.drainedLocked() {
 			s.done = true
+			s.tailDur = time.Since(s.tailStart)
 			s.cond.Broadcast()
 			return nil
 		}
 		s.cond.Wait()
 	}
+}
+
+// runMaintenance runs one round of tail reclamation — steal, supersede,
+// speculate, in that order of preference — firing any callback outside
+// the lock. It is called with s.mu held and returns with it held; a true
+// return means state changed and the dispatch loop should re-evaluate.
+// Stealing and speculation only make sense once the frame source is dry
+// (sourceDry); supersession helps whenever a wedged stripe blocks the
+// group.
+func (s *Sender) runMaintenance(sourceDry bool) bool {
+	if s.stealThreshold < 0 {
+		return false
+	}
+	var cb func()
+	if sourceDry {
+		cb = s.stealLocked()
+	}
+	if cb == nil {
+		cb = s.supersedeLocked()
+	}
+	if cb == nil && sourceDry {
+		cb = s.speculateLocked()
+	}
+	if cb == nil {
+		return false
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	cb()
+	s.mu.Lock()
+	return true
 }
 
 // quiescentLocked reports that every payload byte has been written by
@@ -578,7 +866,9 @@ func (s *Sender) quiescentLocked() bool {
 // drainedLocked reports that every stripe reached a terminal state.
 func (s *Sender) drainedLocked() bool {
 	for _, st := range s.stripes {
-		if st.state != stripeFinished && st.state != stripeAbandoned {
+		switch st.state {
+		case stripeFinished, stripeAbandoned, stripeSuperseded:
+		default:
 			return false
 		}
 	}
@@ -627,6 +917,7 @@ func (s *Sender) ReplayStripe(index int, w io.Writer) error {
 		Index:    uint8(index),
 		Count:    uint8(len(s.stripes)),
 		TotalLen: uint64(s.total),
+		Acks:     s.acks,
 	}
 	if _, err := w.Write(gh.Encode()); err != nil {
 		return fmt.Errorf("stripe %d replay: group header: %w", index, err)

@@ -1,0 +1,602 @@
+package stripe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// This file is the end-of-stream tail reclamation layer of the Sender.
+//
+// The striped dispatcher's historic weakness is the tail: once the frame
+// source runs dry, whatever the slowest stripe is still holding drains at
+// that stripe's rate while the fast stripes idle. Kernel and relay
+// buffers make it worse — the write-side EWMA measures how fast the local
+// pipe *accepts* bytes, not how fast the path *delivers* them, so a slow
+// path happily hoards megabytes it will take seconds to flush.
+//
+// Three cooperating mechanisms close the gap, all safe because the
+// receiver's flushed-boundary dedup drops exact duplicate frames:
+//
+//   - work stealing: queued-but-unwritten frames migrate from the
+//     slowest live stripe to a faster one with free budget;
+//   - speculative tail replication: an idle fast stripe duplicates a
+//     slow stripe's sent-but-unconfirmed (or wedged in-flight) final
+//     frames, and whichever copy lands first wins;
+//   - adaptive in-flight bounding: with receiver acks flowing, each
+//     stripe's unacknowledged bytes are capped near its acked-throughput
+//     bandwidth-delay product, so the hoard can never build up.
+//
+// A stripe whose write has wedged outright (no error, no progress) is
+// *superseded* once every frame it owns is covered by another stripe's
+// duplicate or the receiver's flushed prefix: its ownership migrates to
+// the coverer, the stripe is retired, and the engine closes its
+// connection to unblock the wedged writer.
+
+// Ack feeds one receiver delivery report (from stripe index's backward
+// channel, stream generation gen) into the scheduler. Safe to call
+// concurrently with Run from per-connection reader goroutines.
+func (s *Sender) Ack(index, gen int, a *Ack) {
+	if a == nil {
+		return
+	}
+	s.mu.Lock()
+	if index < 0 || index >= len(s.stripes) {
+		s.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	s.acksObserved = true
+	s.lastAckProgress = now
+	if a.Flushed > s.ackedFlushed {
+		s.ackedFlushed = a.Flushed
+		s.pruneFlushedLocked(a.Flushed)
+	}
+	var confirm bool
+	if a.Flushed >= s.total && !s.confirmed {
+		s.confirmed = true
+		confirm = true
+	}
+	st := s.stripes[index]
+	if gen == st.gen && a.Seen > st.ackSeen {
+		if !st.genAcked {
+			// First ack of the generation anchors the measurement window;
+			// the bytes before it include handshake idle and say nothing
+			// about drain rate.
+			st.genAcked = true
+			st.ackWinAt, st.ackWinSeen = now, a.Seen
+		} else if dt := now.Sub(st.ackWinAt).Seconds(); dt >= minAckRateWindow.Seconds() {
+			bps := float64(a.Seen-st.ackWinSeen) / dt
+			if st.ackBps == 0 {
+				st.ackBps = bps
+			} else {
+				st.ackBps = 0.7*st.ackBps + 0.3*bps
+			}
+			st.ackWinAt, st.ackWinSeen = now, a.Seen
+		}
+		st.ackSeen = a.Seen
+		st.lastAckAt = now
+	}
+	for i, v := range a.Accepted {
+		if i < len(s.ackAccepted) && v > s.ackAccepted[i] {
+			s.ackAccepted[i] = v
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if confirm {
+		close(s.confirmCh)
+	}
+}
+
+// pruneFlushedLocked drops sent-list entries wholly inside the
+// receiver's contiguous prefix: those frames are delivered, keep their
+// byte credit, and no longer need replay or speculation.
+func (s *Sender) pruneFlushedLocked(flushed int64) {
+	for _, st := range s.stripes {
+		if len(st.sent) == 0 {
+			continue
+		}
+		kept := st.sent[:0]
+		for _, f := range st.sent {
+			if f.off+int64(f.n) > flushed {
+				kept = append(kept, f)
+			}
+		}
+		st.sent = kept
+	}
+}
+
+// effRateLocked is the stripe's best-known delivery rate: 0 for a wedged
+// write, the receiver-acked drain rate when available, else the
+// write-side EWMA.
+func (s *Sender) effRateLocked(st *stripeState) float64 {
+	if s.writeStuckLocked(st) {
+		return 0
+	}
+	if st.genAcked && st.ackBps > 0 {
+		return st.ackBps
+	}
+	return st.ewmaBps
+}
+
+// writeStuckLocked reports a frame write that has blocked longer than
+// the stuck timeout — the path is wedged, not merely slow.
+func (s *Sender) writeStuckLocked(st *stripeState) bool {
+	return st.inflight && s.stuckTimeout > 0 && time.Since(st.writeStart) > s.stuckTimeout
+}
+
+// commitmentLocked is how many payload bytes the stripe is already
+// responsible for pushing: unacknowledged pipe contents plus everything
+// queued (speculative duplicates included) and in flight.
+func (s *Sender) commitmentLocked(st *stripeState) int64 {
+	c := st.pipeWritten - st.ackSeen
+	if st.inflight {
+		c += int64(st.cur.n)
+	}
+	for _, f := range st.queue {
+		c += int64(f.n)
+	}
+	for _, sf := range st.specq {
+		c += int64(sf.n)
+	}
+	return c
+}
+
+// budgetLocked is the stripe's in-flight byte allowance: the configured
+// fixed cap, or an adaptive acked-throughput × horizon clamp bounded to
+// [2 frames, maxInflightBudget].
+func (s *Sender) budgetLocked(st *stripeState) int64 {
+	if s.inflightBytes > 0 {
+		return s.inflightBytes
+	}
+	rate := st.ackBps
+	if rate <= 0 {
+		rate = st.ewmaBps
+	}
+	b := int64(rate * defaultInflightHorizon.Seconds())
+	if min := 2 * int64(s.frameSize); b < min {
+		b = min
+	}
+	if b > maxInflightBudget {
+		b = maxInflightBudget
+	}
+	return b
+}
+
+// capacityLocked returns how many more frames and bytes the stripe may
+// take on right now. Until the stripe's stream has acked at least once
+// (or when byte budgets are disabled), the legacy frame-count bound
+// governs; after that, the byte budget does. The adaptive budget
+// additionally waits for a measured drain rate — sizing it off the
+// write-side EWMA would let relay buffers that swallow writes instantly
+// inflate the budget without bound.
+func (s *Sender) capacityLocked(st *stripeState) (frames int, bytes int64) {
+	if st.state != stripeLive {
+		return 0, 0
+	}
+	if s.inflightBytes < 0 || !st.genAcked || (s.inflightBytes == 0 && st.ackBps == 0) {
+		q := len(st.queue) + len(st.specq)
+		if st.inflight {
+			q++
+		}
+		return s.queueFrames - q, math.MaxInt64
+	}
+	return math.MaxInt32, s.budgetLocked(st) - s.commitmentLocked(st)
+}
+
+// eligibleLocked reports whether the stripe may take one more frame of n
+// bytes.
+func (s *Sender) eligibleLocked(st *stripeState, n int) bool {
+	frames, bytes := s.capacityLocked(st)
+	return frames > 0 && bytes >= int64(n)
+}
+
+// mayEndLocked gates the end frame. In ack mode, workers keep their
+// stripes live through the tail — available as speculation thieves —
+// until the receiver confirms the whole group (or stops acking, so the
+// classic unwind still terminates against a silent peer). A short
+// stream can run its source dry before the first ack ever arrives —
+// the dispatch burst outruns the feedback loop — so "no acks yet" is
+// not treated as a silent peer until a full stuck timeout has passed
+// since the tail began.
+func (s *Sender) mayEndLocked() bool {
+	if !s.acks || s.confirmed {
+		return true
+	}
+	if !s.acksObserved {
+		return !s.tailStart.IsZero() && time.Since(s.tailStart) > s.stuckTimeout
+	}
+	return time.Since(s.lastAckProgress) > s.stuckTimeout
+}
+
+// stealLocked migrates queued-but-unwritten frames from the slowest live
+// stripe to the fastest one with free budget. Only provably useful moves
+// happen: the victim's measured rate must trail the thief's by the steal
+// threshold (or its write must be wedged), so symmetric paths never
+// steal. Returns the callback to fire outside the lock, or nil.
+func (s *Sender) stealLocked() func() {
+	victim := -1
+	var vRate float64
+	for i, st := range s.stripes {
+		if st.state != stripeLive || len(st.queue) == 0 {
+			continue
+		}
+		r := s.effRateLocked(st)
+		if victim < 0 || r < vRate {
+			victim, vRate = i, r
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	vs := s.stripes[victim]
+	vStuck := s.writeStuckLocked(vs)
+	if !vStuck && vRate <= 0 {
+		return nil // unmeasured, not provably slow
+	}
+	thief := -1
+	var tRate float64
+	for i, st := range s.stripes {
+		if i == victim || st.state != stripeLive {
+			continue
+		}
+		r := s.effRateLocked(st)
+		if r <= 0 {
+			continue
+		}
+		if !vStuck && r < s.stealThreshold*vRate {
+			continue
+		}
+		if !s.eligibleLocked(st, vs.queue[len(vs.queue)-1].n) {
+			continue
+		}
+		if thief < 0 || r > tRate {
+			thief, tRate = i, r
+		}
+	}
+	if thief < 0 {
+		return nil
+	}
+	ts := s.stripes[thief]
+	frames, bytes := s.capacityLocked(ts)
+	cut := len(vs.queue)
+	for cut > 0 && frames > 0 {
+		n := int64(vs.queue[cut-1].n)
+		if n > bytes {
+			break
+		}
+		bytes -= n
+		frames--
+		cut--
+	}
+	moved := len(vs.queue) - cut
+	if moved == 0 {
+		return nil
+	}
+	ts.queue = append(ts.queue, vs.queue[cut:]...)
+	vs.queue = vs.queue[:cut]
+	s.stolen += int64(moved)
+	cb := s.onSteal
+	logf := s.logf
+	return func() {
+		if logf != nil {
+			logf("stripe steal: %d queued frames %d -> %d", moved, victim, thief)
+		}
+		if cb != nil {
+			cb(victim, thief, moved)
+		}
+	}
+}
+
+// speculateLocked lets an idle fast stripe duplicate a slow stripe's
+// unconfirmed tail — its wedged in-flight frame and sent-but-unflushed
+// frames. The receiver drops whichever copy arrives second, so the only
+// cost is redundant bytes on the fast path; the gain is not waiting for
+// the slow path to drain what it already swallowed.
+func (s *Sender) speculateLocked() func() {
+	for v, vs := range s.stripes {
+		if !victimHoldsFrames(vs.state) {
+			continue
+		}
+		tail := s.unconfirmedTailLocked(vs)
+		if len(tail) == 0 {
+			continue
+		}
+		vStuck := s.writeStuckLocked(vs)
+		vRate := s.effRateLocked(vs)
+		if !vStuck && vRate <= 0 {
+			continue
+		}
+		var tailBytes int64
+		for _, f := range tail {
+			tailBytes += int64(f.n)
+		}
+		thief := -1
+		var tRate float64
+		for t, ts := range s.stripes {
+			if t == v || ts.state != stripeLive || len(ts.queue) > 0 || len(ts.specq) > 0 {
+				continue
+			}
+			r := s.effRateLocked(ts)
+			if r <= 0 {
+				continue
+			}
+			if !vStuck {
+				// Against a merely-slow (not wedged) victim, duplication
+				// costs real bandwidth, so it demands proof: both sides
+				// must have receiver-measured drain rates. The write-side
+				// EWMA rates local buffer acceptance, not delivery — on a
+				// buffered path it reads in memcpy units and would happily
+				// elect the slow stripe as the "fast" thief.
+				if !ts.genAcked || ts.ackBps <= 0 || !vs.genAcked || vs.ackBps <= 0 {
+					continue
+				}
+				if r < s.stealThreshold*vRate {
+					continue
+				}
+				// Only duplicate when the thief would land the tail before
+				// the victim drains its own backlog.
+				tCost := float64(s.commitmentLocked(ts)+tailBytes) / r
+				vCost := float64(s.commitmentLocked(vs)) / vRate
+				if tCost >= vCost {
+					continue
+				}
+			}
+			if thief < 0 || r > tRate {
+				thief, tRate = t, r
+			}
+		}
+		if thief < 0 {
+			continue
+		}
+		ts := s.stripes[thief]
+		// Take only what the thief has capacity for, and take the
+		// SUFFIX: a live victim drains its pipe forward from the lowest
+		// offset, so a thief covering the same bytes front-to-back
+		// merely races it byte for byte. Covering from the back makes
+		// the two meet in the middle — the tail clears at their
+		// combined rate. (Later rounds pick up whatever is left.)
+		// Without acks nothing ever prunes the sent list, so this cap
+		// is also what keeps ackless speculation from duplicating a
+		// slow stripe's entire history at once.
+		frames, bytes := s.capacityLocked(ts)
+		take, takeBytes := 0, int64(0)
+		for i := len(tail) - 1; i >= 0; i-- {
+			n := int64(tail[i].n)
+			if take >= frames || takeBytes+n > bytes {
+				break
+			}
+			take++
+			takeBytes += n
+		}
+		if take == 0 {
+			continue
+		}
+		tail = tail[len(tail)-take:]
+		for _, f := range tail {
+			ts.specq = append(ts.specq, specFrame{frame: f, victim: v, victimGen: vs.gen})
+			s.specPending[f.off] = true
+		}
+		s.speculated += int64(len(tail))
+		moved := len(tail)
+		cb := s.onSpeculate
+		logf := s.logf
+		victim := v
+		th := thief
+		return func() {
+			if logf != nil {
+				logf("stripe speculate: %d tail frames of %d duplicated on %d", moved, victim, th)
+			}
+			if cb != nil {
+				cb(victim, th, moved)
+			}
+		}
+	}
+	return nil
+}
+
+// unconfirmedTailLocked lists the victim's frames the receiver has not
+// flushed and no thief is already covering, ascending by offset: the
+// wedged in-flight frame (a full duplicate of a partially-written frame
+// is safe — the receiver never ingests a partial) plus unpruned sent
+// frames.
+func (s *Sender) unconfirmedTailLocked(vs *stripeState) []frame {
+	var tail []frame
+	add := func(f frame) {
+		if f.off+int64(f.n) <= s.ackedFlushed {
+			return
+		}
+		if s.specPending[f.off] {
+			return
+		}
+		if _, ok := s.specDone[f.off]; ok {
+			return
+		}
+		tail = append(tail, f)
+	}
+	if vs.inflight && !vs.curSpec {
+		add(vs.cur)
+	}
+	for _, f := range vs.sent {
+		add(f)
+	}
+	sort.Slice(tail, func(i, j int) bool { return tail[i].off < tail[j].off })
+	return tail
+}
+
+// supersedeLocked retires a wedged stripe whose every frame is covered —
+// by the receiver's flushed prefix or by a live thief's completed
+// duplicate. Ownership of the covered frames migrates to the coverer
+// (keeping StripeBytes summing to the stream length), leftover queued
+// frames requeue, and the engine is told to close the wedged connection.
+func (s *Sender) supersedeLocked() func() {
+	for v, vs := range s.stripes {
+		if vs.state != stripeLive || !s.writeStuckLocked(vs) {
+			continue
+		}
+		type migration struct {
+			f     frame
+			rec   specRec
+			byRec bool
+		}
+		var migrate []migration
+		covered := true
+		check := func(f frame, victimOwned bool) {
+			if !covered {
+				return
+			}
+			if f.off+int64(f.n) <= s.ackedFlushed {
+				// Delivered. An in-flight frame was never credited, so give
+				// the victim its credit now; sent frames already have it.
+				if !victimOwned {
+					migrate = append(migrate, migration{f: f})
+				}
+				return
+			}
+			rec, ok := s.specDone[f.off]
+			if !ok || rec.victim != v || rec.victimGen != vs.gen || rec.n != f.n {
+				covered = false
+				return
+			}
+			ts := s.stripes[rec.thief]
+			if ts.gen != rec.thiefGen || !victimHoldsFrames(ts.state) {
+				covered = false
+				return
+			}
+			migrate = append(migrate, migration{f: f, rec: rec, byRec: true})
+		}
+		if vs.inflight && !vs.curSpec {
+			check(vs.cur, false)
+		}
+		for _, f := range vs.sent {
+			check(f, true)
+		}
+		if !covered {
+			continue
+		}
+		// Apply: migrate covered frames to their coverers, requeue the
+		// untouched queue, retire the stripe.
+		for _, m := range migrate {
+			if !m.byRec {
+				vs.bytes += int64(m.f.n) // in-flight frame the victim landed
+				continue
+			}
+			ts := s.stripes[m.rec.thief]
+			ts.sent = append(ts.sent, m.f)
+			ts.bytes += int64(m.f.n)
+			delete(s.specDone, m.f.off)
+		}
+		for _, f := range vs.sent {
+			if f.off+int64(f.n) > s.ackedFlushed {
+				vs.bytes -= int64(f.n) // ownership moved to the thief
+			}
+		}
+		vs.sent = nil
+		if vs.inflight {
+			vs.inflight = false
+			vs.curSpec = false
+		}
+		for _, sf := range vs.specq {
+			delete(s.specPending, sf.off)
+		}
+		vs.specq = nil
+		requeued := len(vs.queue)
+		s.requeue = append(s.requeue, vs.queue...)
+		vs.queue = nil
+		if requeued > 0 {
+			s.reassigned += int64(requeued)
+			if s.phase == phaseEnd {
+				s.phase = phaseData
+			}
+		}
+		vs.gen++ // retire the wedged worker when its write finally returns
+		vs.state = stripeSuperseded
+		vs.lastErr = fmt.Errorf("stripe %d: write wedged for %v; superseded", v, s.stuckTimeout)
+		s.superseded++
+		cb := s.onSuperseded
+		reassign := s.onReassign
+		logf := s.logf
+		victim := v
+		return func() {
+			if logf != nil {
+				logf("stripe %d superseded: wedged write, all frames covered (%d requeued)", victim, requeued)
+			}
+			if cb != nil {
+				cb(victim)
+			}
+			if reassign != nil && requeued > 0 {
+				reassign(victim, requeued)
+			}
+		}
+	}
+	return nil
+}
+
+// Stolen returns how many queued frames have migrated off slow stripes
+// at end-of-stream.
+func (s *Sender) Stolen() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stolen
+}
+
+// Speculated returns how many tail frames have been queued as
+// speculative duplicates on faster stripes.
+func (s *Sender) Speculated() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.speculated
+}
+
+// Superseded returns how many wedged stripes were retired with their
+// frames re-delivered elsewhere.
+func (s *Sender) Superseded() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.superseded
+}
+
+// Confirmed reports whether the receiver has acked the whole stream as
+// flushed (only possible in ack mode).
+func (s *Sender) Confirmed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.confirmed
+}
+
+// ConfirmedChan is closed when the receiver confirms full delivery.
+func (s *Sender) ConfirmedChan() <-chan struct{} {
+	return s.confirmCh
+}
+
+// AcceptedBytes returns the receiver-attributed per-stripe contribution
+// from the latest ack: exactly which stripe index landed each byte
+// first, duplicates excluded. Sums to the stream length once Confirmed.
+func (s *Sender) AcceptedBytes() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int64(nil), s.ackAccepted...)
+}
+
+// TailDuration reports how long the run spent between the frame source
+// running dry and the group draining (0 until Run returns success).
+func (s *Sender) TailDuration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tailDur
+}
+
+// QueuedBytes returns each stripe's currently committed bytes — queued,
+// speculative, and in-flight frames plus unacknowledged pipe contents —
+// the quantity the in-flight budget bounds.
+func (s *Sender) QueuedBytes() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.stripes))
+	for i, st := range s.stripes {
+		out[i] = s.commitmentLocked(st)
+	}
+	return out
+}

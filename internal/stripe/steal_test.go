@@ -1,0 +1,311 @@
+package stripe
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"lsl/internal/wire"
+)
+
+// gateWriter passes through a fixed byte budget, then blocks every write
+// until Close — a path that wedges without erroring, like a remote whose
+// kernel buffers filled while the far side stopped draining.
+type gateWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	budget int
+	gate   chan struct{}
+	once   sync.Once
+}
+
+func newGateWriter(w io.Writer, budget int) *gateWriter {
+	return &gateWriter{w: w, budget: budget, gate: make(chan struct{})}
+}
+
+func (g *gateWriter) Write(p []byte) (int, error) {
+	g.mu.Lock()
+	if g.budget >= len(p) {
+		g.budget -= len(p)
+		g.mu.Unlock()
+		return g.w.Write(p)
+	}
+	g.mu.Unlock()
+	<-g.gate
+	return 0, errors.New("gated writer closed")
+}
+
+func (g *gateWriter) Close() { g.once.Do(func() { close(g.gate) }) }
+
+// delayWriter adds a fixed delay per write, making two stripes' measured
+// rates deterministic and equal.
+type delayWriter struct {
+	w     io.Writer
+	delay time.Duration
+}
+
+func (d *delayWriter) Write(p []byte) (int, error) {
+	time.Sleep(d.delay)
+	return d.w.Write(p)
+}
+
+// TestSenderTailReclamation wedges one of two stripes mid-transfer and
+// expects the full reclamation cascade: its queued frames are stolen, its
+// sent-but-unconfirmed and in-flight frames are speculatively duplicated
+// on the fast stripe, and the wedged stripe is finally superseded — with
+// the reassembled stream byte-exact and StripeBytes still summing to the
+// stream length.
+func TestSenderTailReclamation(t *testing.T) {
+	payload := make([]byte, 64<<10)
+	rand.New(rand.NewSource(31)).Read(payload)
+	const fs = 4 << 10
+
+	var out bytes.Buffer
+	recv := NewReceiver(&out)
+
+	snd, err := NewSender(wire.NewSessionID(), bytes.NewReader(payload), int64(len(payload)), 2,
+		SenderConfig{FrameSize: fs, QueueFrames: 4, StuckTimeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stripe 0 flows normally.
+	pr0, pw0 := io.Pipe()
+	fastErr := make(chan error, 1)
+	go func() { fastErr <- recv.Attach(pr0) }()
+	if err := snd.Attach(0, pw0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stripe 1 delivers its group header and exactly one frame, then
+	// wedges: the write blocks without returning.
+	pr1, pw1 := io.Pipe()
+	gate := newGateWriter(pw1, groupHeaderLen+frameHeaderLen+fs)
+	go func() { recv.Attach(pr1) }() // dies when the pipe is torn down; tolerated
+	if err := snd.Attach(1, gate); err != nil {
+		t.Fatal(err)
+	}
+	// The engine's OnSuperseded closes the wedged connection; model that.
+	snd.onSuperseded = func(i int) {
+		if i != 1 {
+			t.Errorf("superseded stripe %d, want 1", i)
+		}
+		gate.Close()
+		pw1.CloseWithError(errors.New("superseded"))
+	}
+
+	if err := snd.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-fastErr; err != nil {
+		t.Fatalf("fast stripe: %v", err)
+	}
+	if !recv.Complete() {
+		t.Fatalf("incomplete: %d of %d", recv.Written(), len(payload))
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("payload mismatch after reclamation")
+	}
+	if snd.Stolen() < 1 {
+		t.Fatalf("stolen %d, want >= 1", snd.Stolen())
+	}
+	if snd.Speculated() < 1 {
+		t.Fatalf("speculated %d, want >= 1", snd.Speculated())
+	}
+	if snd.Superseded() != 1 {
+		t.Fatalf("superseded %d, want 1", snd.Superseded())
+	}
+	var sum int64
+	for _, b := range snd.StripeBytes() {
+		if b < 0 {
+			t.Fatalf("negative stripe bytes: %v", snd.StripeBytes())
+		}
+		sum += b
+	}
+	if sum != int64(len(payload)) {
+		t.Fatalf("stripe bytes sum %d, want %d (%v)", sum, len(payload), snd.StripeBytes())
+	}
+	if d := snd.TailDuration(); d <= 0 {
+		t.Fatalf("tail duration %v, want > 0", d)
+	}
+}
+
+// TestSenderSymmetricNoSteal: two stripes of identical measured rate must
+// never trigger stealing or speculation — reclamation is for provably
+// asymmetric paths only.
+func TestSenderSymmetricNoSteal(t *testing.T) {
+	payload := make([]byte, 256<<10)
+	rand.New(rand.NewSource(32)).Read(payload)
+
+	var out bytes.Buffer
+	recv := NewReceiver(&out)
+	snd, err := NewSender(wire.NewSessionID(), bytes.NewReader(payload), int64(len(payload)), 2,
+		SenderConfig{FrameSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	attachErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		pr, pw := io.Pipe()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if aerr := recv.Attach(pr); aerr != nil {
+				attachErrs <- aerr
+			}
+		}()
+		if err := snd.Attach(i, &delayWriter{w: pw, delay: 2 * time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := snd.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(attachErrs)
+	for aerr := range attachErrs {
+		t.Fatal(aerr)
+	}
+	if !recv.Complete() || !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("stream corrupted")
+	}
+	if snd.Stolen() != 0 || snd.Speculated() != 0 || snd.Superseded() != 0 {
+		t.Fatalf("symmetric paths reclaimed: stolen %d speculated %d superseded %d",
+			snd.Stolen(), snd.Speculated(), snd.Superseded())
+	}
+}
+
+// TestSenderAckConfirm runs a full duplex transfer: the receiver acks on
+// each stream's backward channel, the sender's in-flight budget adapts,
+// and the group confirms by ack — with the receiver's attribution summing
+// to the stream length.
+func TestSenderAckConfirm(t *testing.T) {
+	payload := make([]byte, 256<<10)
+	rand.New(rand.NewSource(33)).Read(payload)
+
+	var out bytes.Buffer
+	recv := NewReceiver(&out)
+	recv.SetAckEvery(8 << 10)
+
+	snd, err := NewSender(wire.NewSessionID(), bytes.NewReader(payload), int64(len(payload)), 2,
+		SenderConfig{FrameSize: 8 << 10, Acks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	attachErrs := make(chan error, 2)
+	var conns []net.Conn
+	for i := 0; i < 2; i++ {
+		client, server := net.Pipe()
+		conns = append(conns, client, server)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if aerr := recv.Attach(server); aerr != nil {
+				attachErrs <- aerr
+			}
+		}()
+		gen, aerr := snd.AttachGen(i, client)
+		if aerr != nil {
+			t.Fatal(aerr)
+		}
+		go func(idx, gen int, c net.Conn) {
+			for {
+				a, rerr := ReadAck(c)
+				if rerr != nil {
+					return
+				}
+				snd.Ack(idx, gen, a)
+			}
+		}(i, gen, client)
+	}
+	if err := snd.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(attachErrs)
+	for aerr := range attachErrs {
+		t.Fatal(aerr)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	if !recv.Complete() || !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("stream corrupted")
+	}
+	if !snd.Confirmed() {
+		t.Fatal("group not confirmed by ack")
+	}
+	select {
+	case <-snd.ConfirmedChan():
+	default:
+		t.Fatal("ConfirmedChan not closed")
+	}
+	var sum int64
+	for _, b := range snd.AcceptedBytes() {
+		sum += b
+	}
+	if sum != int64(len(payload)) {
+		t.Fatalf("accepted bytes sum %d, want %d (%v)", sum, len(payload), snd.AcceptedBytes())
+	}
+}
+
+// TestSenderInflightBudget exercises the byte-budget eligibility math
+// directly: once a stripe's generation has acked, its unacknowledged
+// commitment against the configured budget — not the frame-count bound —
+// decides whether it may take more work.
+func TestSenderInflightBudget(t *testing.T) {
+	snd, err := NewSender(wire.NewSessionID(), bytes.NewReader(make([]byte, 1<<20)), 1<<20, 2,
+		SenderConfig{FrameSize: 4 << 10, QueueFrames: 4, InflightBytes: 10000, Acks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := snd.stripes[0]
+	snd.mu.Lock()
+	defer snd.mu.Unlock()
+	st.state = stripeLive
+
+	// Before the first ack, the legacy frame-count bound governs.
+	if !snd.eligibleLocked(st, 4096) {
+		t.Fatal("empty pre-ack stripe must be eligible")
+	}
+	st.queue = []frame{{0, 1}, {1, 1}, {2, 1}, {3, 1}}
+	if snd.eligibleLocked(st, 4096) {
+		t.Fatal("full pre-ack queue must not be eligible")
+	}
+	st.queue = nil
+
+	// After an ack, the byte budget governs: 8000 unacked of a 10000
+	// budget leaves no room for a 4096-byte frame...
+	st.genAcked = true
+	st.pipeWritten = 8000
+	st.ackSeen = 0
+	if snd.eligibleLocked(st, 4096) {
+		t.Fatalf("commitment %d of budget 10000 must block a 4096 frame", snd.commitmentLocked(st))
+	}
+	// ...until the receiver drains enough of it.
+	st.ackSeen = 6000
+	if !snd.eligibleLocked(st, 4096) {
+		t.Fatalf("commitment %d of budget 10000 must admit a 4096 frame", snd.commitmentLocked(st))
+	}
+
+	// The adaptive budget is acked-rate × horizon, clamped to at least
+	// two frames.
+	st2 := snd.stripes[1]
+	snd.inflightBytes = 0
+	st2.ackBps = 100 << 20
+	if b := snd.budgetLocked(st2); b != int64(float64(100<<20)*defaultInflightHorizon.Seconds()) {
+		t.Fatalf("adaptive budget %d", b)
+	}
+	st2.ackBps = 1 // ~0 → clamps to 2 frames
+	if b := snd.budgetLocked(st2); b != 2*int64(snd.frameSize) {
+		t.Fatalf("budget floor %d, want %d", b, 2*snd.frameSize)
+	}
+}

@@ -15,6 +15,18 @@
 //	group header: magic "LSLS" | version u8 | group [16] | index u8 | count u8 | totalLen u64
 //	frame:        offset u64 | length u32 | payload...
 //	(a zero-length frame marks the stripe's end)
+//
+// A sender that wants delivery acknowledgements opens its streams with
+// magic "LSLT" instead; the receiver then emits compact ack records on
+// each stream's backward channel:
+//
+//	ack: magic "LSLA" | flushed u64 | seen u64 | count u8 | accepted u64 × count
+//
+// flushed is the group-wide contiguous prefix, seen is how many payload
+// bytes this particular stream has delivered (duplicates included — it
+// measures pipe drain, not contribution), and accepted[i] is how many
+// non-duplicate payload bytes stripe index i has contributed so far.
+// "LSLS" streams get no acks, keeping old senders compatible.
 package stripe
 
 import (
@@ -41,12 +53,25 @@ const (
 	// buffer: a fast stripe running ahead of the contiguous prefix may
 	// buffer at most this many bytes before the group is failed.
 	DefaultMaxPending = 256 << 20
+	// DefaultAckEvery is how many delivered payload bytes a receiver lets
+	// pass on one stream between ack records (when acks are on at all).
+	DefaultAckEvery = 64 << 10
 	// groupHeaderLen: magic(4) version(1) group(16) index(1) count(1) total(8).
 	groupHeaderLen = 31
 	frameHeaderLen = 12
+	// ackFixedLen: magic(4) flushed(8) seen(8) count(1).
+	ackFixedLen = 21
 )
 
-var magicStripe = [4]byte{'L', 'S', 'L', 'S'}
+var (
+	magicStripe = [4]byte{'L', 'S', 'L', 'S'}
+	// magicStripeAck marks a stream whose sender understands ack records
+	// on the backward channel. Old receivers reject it (they only know
+	// "LSLS"), so senders must be told explicitly that the peer is
+	// ack-capable — see SenderConfig.Acks.
+	magicStripeAck = [4]byte{'L', 'S', 'L', 'T'}
+	magicAck       = [4]byte{'L', 'S', 'L', 'A'}
+)
 
 // Errors.
 var (
@@ -60,6 +85,8 @@ var (
 	// contiguous prefix exceeded the receiver's pending-bytes limit
 	// (one stripe is running too far ahead of a stalled one).
 	ErrPendingOverflow = errors.New("stripe: pending reassembly buffer over limit")
+	// ErrBadAck reports a malformed ack record on the backward channel.
+	ErrBadAck = errors.New("stripe: bad ack record")
 )
 
 // GroupHeader opens each stripe stream.
@@ -68,12 +95,20 @@ type GroupHeader struct {
 	Index    uint8          // this stripe's number
 	Count    uint8          // total stripes in the group
 	TotalLen uint64         // logical stream length
+	// Acks marks the sender as ack-capable: the receiver should emit Ack
+	// records on this stream's backward channel. Encoded as the "LSLT"
+	// magic instead of "LSLS".
+	Acks bool
 }
 
 // Encode serializes the group header.
 func (g *GroupHeader) Encode() []byte {
 	out := make([]byte, groupHeaderLen)
-	copy(out, magicStripe[:])
+	if g.Acks {
+		copy(out, magicStripeAck[:])
+	} else {
+		copy(out, magicStripe[:])
+	}
 	out[4] = wire.Version
 	copy(out[5:21], g.Group[:])
 	out[21] = g.Index
@@ -82,22 +117,90 @@ func (g *GroupHeader) Encode() []byte {
 	return out
 }
 
-// ReadGroupHeader decodes a group header from r.
+// ReadGroupHeader decodes a group header from r. Both the classic "LSLS"
+// magic and the ack-requesting "LSLT" are accepted; the latter sets Acks.
 func ReadGroupHeader(r io.Reader) (*GroupHeader, error) {
 	buf := make([]byte, groupHeaderLen)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadGroupHeader, err)
 	}
-	if string(buf[:4]) != string(magicStripe[:]) || buf[4] != wire.Version {
+	acks := false
+	switch string(buf[:4]) {
+	case string(magicStripe[:]):
+	case string(magicStripeAck[:]):
+		acks = true
+	default:
 		return nil, ErrBadGroupHeader
 	}
-	g := &GroupHeader{Index: buf[21], Count: buf[22]}
+	if buf[4] != wire.Version {
+		return nil, ErrBadGroupHeader
+	}
+	g := &GroupHeader{Index: buf[21], Count: buf[22], Acks: acks}
 	copy(g.Group[:], buf[5:21])
 	g.TotalLen = binary.BigEndian.Uint64(buf[23:31])
 	if g.Count == 0 || g.Count > MaxStripes || g.Index >= g.Count {
 		return nil, ErrBadGroupHeader
 	}
 	return g, nil
+}
+
+// Ack is one delivery report from the receiver, flowing backward along a
+// stripe stream. Flushed is the group-wide contiguous prefix; Seen counts
+// the payload bytes this particular stream has carried (duplicates
+// included), which is what a sender needs for in-flight accounting; and
+// Accepted[i] is stripe index i's non-duplicate contribution so far.
+type Ack struct {
+	Flushed  int64
+	Seen     int64
+	Accepted []int64
+}
+
+// Encode serializes the ack record.
+func (a *Ack) Encode() []byte {
+	out := make([]byte, ackFixedLen+8*len(a.Accepted))
+	copy(out, magicAck[:])
+	binary.BigEndian.PutUint64(out[4:12], uint64(a.Flushed))
+	binary.BigEndian.PutUint64(out[12:20], uint64(a.Seen))
+	out[20] = uint8(len(a.Accepted))
+	for i, v := range a.Accepted {
+		binary.BigEndian.PutUint64(out[ackFixedLen+8*i:], uint64(v))
+	}
+	return out
+}
+
+// ReadAck decodes one ack record from r. All counts come off the network,
+// so they are bounds-checked: at most MaxStripes per-stripe entries and
+// no value may overflow int64.
+func ReadAck(r io.Reader) (*Ack, error) {
+	buf := make([]byte, ackFixedLen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	if string(buf[:4]) != string(magicAck[:]) {
+		return nil, ErrBadAck
+	}
+	flushed := binary.BigEndian.Uint64(buf[4:12])
+	seen := binary.BigEndian.Uint64(buf[12:20])
+	n := int(buf[20])
+	if n > MaxStripes || flushed > 1<<62 || seen > 1<<62 {
+		return nil, ErrBadAck
+	}
+	a := &Ack{Flushed: int64(flushed), Seen: int64(seen)}
+	if n > 0 {
+		body := make([]byte, 8*n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadAck, err)
+		}
+		a.Accepted = make([]int64, n)
+		for i := range a.Accepted {
+			v := binary.BigEndian.Uint64(body[8*i:])
+			if v > 1<<62 {
+				return nil, ErrBadAck
+			}
+			a.Accepted[i] = int64(v)
+		}
+	}
+	return a, nil
 }
 
 // writeFrame emits one offset-tagged frame.
@@ -208,8 +311,12 @@ type Receiver struct {
 	// flushed records each flushed frame's offset -> length so a healed
 	// stripe's exact replays can be told apart from corrupt overlaps.
 	flushed map[int64]int32
-	out     io.Writer
-	joined  int
+	// accepted[i] counts stripe index i's non-duplicate payload bytes, for
+	// ack attribution. Allocated when the first header arrives.
+	accepted []int64
+	ackEvery int64
+	out      io.Writer
+	joined   int
 }
 
 // NewReceiver builds a reassembler writing the logical stream into out.
@@ -220,8 +327,22 @@ func NewReceiver(out io.Writer) *Receiver {
 		pending:    make(map[int64][]byte),
 		flushed:    make(map[int64]int32),
 		maxPending: DefaultMaxPending,
+		ackEvery:   DefaultAckEvery,
 		out:        out,
 	}
+}
+
+// SetAckEvery tunes how many delivered payload bytes pass on one stream
+// between ack records (streams opened with the ack-requesting header
+// always additionally ack their end frame and group completion). n <= 0
+// restores DefaultAckEvery. Call before attaching streams.
+func (r *Receiver) SetAckEvery(n int64) {
+	if n <= 0 {
+		n = DefaultAckEvery
+	}
+	r.mu.Lock()
+	r.ackEvery = n
+	r.mu.Unlock()
 }
 
 // SetMaxPending bounds the bytes buffered beyond the contiguous prefix
@@ -237,6 +358,13 @@ func (r *Receiver) SetMaxPending(n int64) {
 // Attach consumes one stripe stream (blocking) and feeds its frames into
 // the reassembler. Call it once per stripe, typically on its own
 // goroutine.
+//
+// If the stream's group header requests acks ("LSLT") and the stream is
+// also an io.Writer (an LSL session is), Attach writes Ack records back
+// every SetAckEvery delivered bytes, at the stream's end frame, and at
+// the moment this stream's frame completes the whole group. Ack write
+// errors stop further acks on this stream but do not fail reassembly —
+// the sender degrades to its ackless behavior.
 func (r *Receiver) Attach(stream io.Reader) error {
 	gh, err := ReadGroupHeader(stream)
 	if err != nil {
@@ -244,6 +372,23 @@ func (r *Receiver) Attach(stream io.Reader) error {
 	}
 	if err := r.register(gh); err != nil {
 		return err
+	}
+	var ackW io.Writer
+	if gh.Acks {
+		ackW, _ = stream.(io.Writer)
+	}
+	var seen, lastAcked int64
+	sendAck := func() {
+		if ackW == nil {
+			return
+		}
+		r.mu.Lock()
+		a := Ack{Flushed: r.written, Seen: seen, Accepted: append([]int64(nil), r.accepted...)}
+		r.mu.Unlock()
+		if _, err := ackW.Write(a.Encode()); err != nil {
+			ackW = nil
+		}
+		lastAcked = seen
 	}
 	for {
 		off, length, err := readFrame(stream)
@@ -254,16 +399,28 @@ func (r *Receiver) Attach(stream io.Reader) error {
 			if int64(off) != r.total {
 				return fmt.Errorf("stripe %d: end frame at %d, want %d", gh.Index, off, r.total)
 			}
+			sendAck()
 			return nil
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(stream, payload); err != nil {
 			return fmt.Errorf("stripe %d: frame body: %w", gh.Index, err)
 		}
-		if err := r.ingest(int64(off), payload); err != nil {
+		seen += int64(length)
+		completed, err := r.ingest(int(gh.Index), int64(off), payload)
+		if err != nil {
 			return err
 		}
+		if completed || (ackW != nil && seen-lastAcked >= r.ackCadence()) {
+			sendAck()
+		}
 	}
+}
+
+func (r *Receiver) ackCadence() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ackEvery
 }
 
 // register validates stripe membership against the first-seen group.
@@ -273,6 +430,7 @@ func (r *Receiver) register(gh *GroupHeader) error {
 	if r.Header == nil {
 		r.Header = gh
 		r.total = int64(gh.TotalLen)
+		r.accepted = make([]int64, gh.Count)
 	} else {
 		if gh.Group != r.Header.Group || gh.Count != r.Header.Count || gh.TotalLen != r.Header.TotalLen {
 			return fmt.Errorf("stripe: inconsistent group header on stripe %d", gh.Index)
@@ -282,32 +440,39 @@ func (r *Receiver) register(gh *GroupHeader) error {
 	return nil
 }
 
-// ingest adds a frame, flushing any newly contiguous prefix.
+// ingest adds a frame from stripe index idx, flushing any newly
+// contiguous prefix. It reports whether this frame just completed the
+// group (the caller acks that moment immediately).
 //
 // Replays are tolerated: healing a dead stripe re-sends every frame of its
-// last generation, so a frame wholly inside the flushed prefix, or equal in
-// length to a buffered pending frame at the same offset, is silently
-// dropped. Partial overlaps still fail — frame boundaries are fixed when
-// the sender dispatches them, so a mismatched boundary means corruption,
-// not healing.
-func (r *Receiver) ingest(off int64, payload []byte) error {
+// last generation, and tail speculation deliberately duplicates a slow
+// stripe's final frames on a fast one — so a frame wholly inside the
+// flushed prefix, or equal in length to a buffered pending frame at the
+// same offset, is silently dropped (and NOT attributed to idx: credit
+// goes to whichever stripe landed the bytes first). Partial overlaps
+// still fail — frame boundaries are fixed when the sender dispatches
+// them, so a mismatched boundary means corruption, not healing.
+func (r *Receiver) ingest(idx int, off int64, payload []byte) (bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if off < r.written {
 		if n, ok := r.flushed[off]; ok && int(n) == len(payload) {
-			return nil // exact replay of an already-flushed frame
+			return false, nil // exact replay of an already-flushed frame
 		}
-		return ErrFrameOverlap
+		return false, ErrFrameOverlap
 	}
 	if prev, ok := r.pending[off]; ok {
 		if len(prev) == len(payload) {
-			return nil // replay of a buffered frame
+			return false, nil // replay of a buffered frame
 		}
-		return ErrFrameOverlap
+		return false, ErrFrameOverlap
+	}
+	if idx < len(r.accepted) {
+		r.accepted[idx] += int64(len(payload))
 	}
 	if off == r.written {
 		if _, err := r.out.Write(payload); err != nil {
-			return err
+			return false, err
 		}
 		r.flushed[off] = int32(len(payload))
 		r.written += int64(len(payload))
@@ -319,20 +484,28 @@ func (r *Receiver) ingest(off int64, payload []byte) error {
 			delete(r.pending, r.written)
 			r.pendingBytes -= int64(len(next))
 			if _, err := r.out.Write(next); err != nil {
-				return err
+				return false, err
 			}
 			r.flushed[r.written] = int32(len(next))
 			r.written += int64(len(next))
 		}
-		return nil
+		return r.written == r.total, nil
 	}
 	if r.maxPending > 0 && r.pendingBytes+int64(len(payload)) > r.maxPending {
-		return fmt.Errorf("%w: %d + %d > %d", ErrPendingOverflow,
+		return false, fmt.Errorf("%w: %d + %d > %d", ErrPendingOverflow,
 			r.pendingBytes, len(payload), r.maxPending)
 	}
 	r.pending[off] = payload
 	r.pendingBytes += int64(len(payload))
-	return nil
+	return false, nil
+}
+
+// AcceptedBytes returns each stripe index's non-duplicate contribution to
+// the reassembled stream so far (nil before the first header arrives).
+func (r *Receiver) AcceptedBytes() []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int64(nil), r.accepted...)
 }
 
 // Complete reports whether the whole logical stream has been written out.

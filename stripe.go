@@ -59,6 +59,19 @@ var (
 	// WithStripedTransferMetrics directs the lsl_stripe_* counters at a
 	// custom set.
 	WithStripedTransferMetrics = resilience.WithStripedMetrics
+	// WithStripeStealThreshold sets the rate ratio a fast stripe must hold
+	// over a slow one before end-of-stream work stealing and speculative
+	// tail replication kick in (default 1.5; negative disables tail
+	// reclamation).
+	WithStripeStealThreshold = resilience.WithStealThreshold
+	// WithStripeInflightBytes bounds each stripe's unacknowledged bytes:
+	// > 0 is a fixed per-stripe budget, 0 (default) adapts one from the
+	// receiver's acked throughput, negative keeps only the frame-count
+	// bound.
+	WithStripeInflightBytes = resilience.WithInflightBytes
+	// WithStripeSocketBuffers pins SO_SNDBUF/SO_RCVBUF (bytes) on every
+	// stripe dial; 0 keeps the kernel default for that direction.
+	WithStripeSocketBuffers = resilience.WithSockBuffers
 )
 
 // StripedTransfer delivers size bytes from src across concurrent stripe
