@@ -15,6 +15,10 @@
 //	lsd -listen :5000 -graph overlay.txt -self denver -admin :9090
 //	                                 # feed relay measurements into the live
 //	                                 # logistics planner; forecasts at /plan
+//	lsd -listen :5000 -graph overlay.txt -self denver \
+//	    -gossip-peers chicago:5000,ncsa:5000
+//	                                 # share edge forecasts with peer depots
+//	                                 # by anti-entropy gossip
 //	lsd -listen :5000 -state-dir /var/lib/lsd  # durable custody: staged
 //	                                 # payloads journaled to disk, recovered
 //	                                 # and redelivered after a restart
@@ -25,10 +29,12 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +60,8 @@ func main() {
 		sockBuf     = flag.Int("sockbuf", 0, "SO_SNDBUF/SO_RCVBUF for every accepted and dialed connection in bytes (0 = kernel default; TCP_NODELAY is always set)")
 		graphF      = flag.String("graph", "", "overlay graph file (lslplan format): run a live logistics planner fed by this depot's relay measurements")
 		selfNode    = flag.String("self", "", "this depot's node name in the -graph overlay")
+		gossipPeers = flag.String("gossip-peers", "", "comma-separated peer depot addresses to exchange forecast gossip with (needs -graph/-self)")
+		gossipEvery = flag.Duration("gossip-interval", 0, "mean time between gossip rounds (0 = default 5s); actual spacing is jittered")
 		stateDir    = flag.String("state-dir", "", "durable state directory: staged payloads are journaled here and recovered after a restart; the logistics planner's forecasts persist here too (empty = in-memory custody only)")
 		maxStage    = flag.String("max-stage", "", "largest staged payload accepted per session, e.g. 64M (empty = default 64M)")
 		maxStageTot = flag.String("max-stage-total", "", "global custody budget across all staged sessions, e.g. 1G; beyond it new staged sessions are shed (empty = 4x -max-stage)")
@@ -142,9 +150,37 @@ func main() {
 	if *verbose {
 		cfg.Logf = logger.Printf
 	}
+	// The gossiper is built after the depot (it rides the depot's trunk
+	// dialer), but the depot's accept path needs the handler now — a
+	// closure over the late-bound pointer breaks the cycle. Until the
+	// gossiper exists, inbound LSLG connections are dropped.
+	var gossiper *lsl.Gossiper
 	if planner != nil {
 		cfg.OnSessionEnd = planner.DepotHook()
-		cfg.PlanView = planner.PlanView()
+		if *gossipPeers != "" {
+			cfg.OnGossip = func(c net.Conn) {
+				if gossiper != nil {
+					gossiper.ServeConn(c)
+				} else {
+					c.Close()
+				}
+			}
+		}
+		// /plan keeps the planner view's shape and gains a "gossip"
+		// section when gossip is on.
+		cfg.PlanView = func() interface{} {
+			v := struct {
+				lsl.PlannerView
+				Gossip *lsl.GossipStatus `json:"gossip,omitempty"`
+			}{PlannerView: planner.Snapshot()}
+			if gossiper != nil {
+				st := gossiper.Status()
+				v.Gossip = &st
+			}
+			return v
+		}
+	} else if *gossipPeers != "" {
+		logger.Fatal("-gossip-peers needs -graph/-self (the planner supplies the observations to share)")
 	}
 	d := lsl.NewDepot(cfg)
 	if planner != nil {
@@ -155,6 +191,27 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if planner != nil && *gossipPeers != "" {
+		peers := strings.Split(*gossipPeers, ",")
+		for i := range peers {
+			peers[i] = strings.TrimSpace(peers[i])
+		}
+		g, err := lsl.NewGossiper(lsl.GossipConfig{
+			Planner:  planner,
+			Peers:    peers,
+			Interval: *gossipEvery,
+			Dial:     d.Dialer(), // ride warm mux trunks where they exist
+			Metrics:  lsl.NewGossipMetrics(d.Metrics()),
+			Logf:     logger.Printf,
+		})
+		if err != nil {
+			logger.Fatalf("gossip: %v", err)
+		}
+		gossiper = g
+		go gossiper.Run(ctx)
+		logger.Printf("forecast gossip: %d peer(s), interval %s", len(peers), g.Status().Interval)
+	}
 
 	if *statsEvery > 0 {
 		ticker := time.NewTicker(*statsEvery)

@@ -135,6 +135,13 @@ type Config struct {
 	// (the logistics planner's forecast snapshot). Kept as an opaque
 	// closure so the depot does not depend on the planner package.
 	PlanView func() interface{}
+	// OnGossip, when set, receives inbound forecast-gossip exchanges:
+	// connections (classic or mux streams) whose first bytes carry the
+	// LSLG magic are handed over whole instead of entering the session
+	// path. The handler owns the connection and must close it. Kept as
+	// an opaque callback so the depot does not depend on the gossip
+	// package.
+	OnGossip func(net.Conn)
 }
 
 // DefaultDrainTimeout is how long Close waits for in-flight sessions
@@ -687,10 +694,36 @@ func (d *Depot) serveLink(ctx context.Context, nc net.Conn) {
 	}
 }
 
-// handle runs one inbound transport connection as a session.
+// handle runs one inbound transport connection as a session — unless
+// gossip is enabled and the first bytes carry the LSLG magic, in which
+// case the whole connection is handed to the gossip handler. The probe
+// happens here (not just in handleConn) so gossip exchanges arrive
+// equally over classic connections and mux trunk streams.
 func (d *Depot) handle(ctx context.Context, up net.Conn) {
+	if d.cfg.OnGossip != nil {
+		var magic [4]byte
+		up.SetReadDeadline(time.Now().Add(d.cfg.HandshakeTimeout))
+		if _, err := io.ReadFull(up, magic[:]); err != nil {
+			up.Close()
+			return
+		}
+		up.SetReadDeadline(time.Time{})
+		if wire.IsGossipMagic(magic[:]) {
+			d.cfg.OnGossip(newPrefixConn(up, magic[:]))
+			return
+		}
+		up = newPrefixConn(up, magic[:])
+	}
 	s := &session{d: d, up: up, peer: remoteAddr(up), start: time.Now(), state: stateHandshaking}
 	s.run(ctx)
+}
+
+// Dialer returns the depot's next-hop dialer: a stream on a warm mux
+// trunk where one exists, a fresh transport connection otherwise. The
+// gossip layer uses it so forecast exchanges ride the same trunks as
+// sessions instead of paying their own handshakes.
+func (d *Depot) Dialer() func(ctx context.Context, addr string) (net.Conn, error) {
+	return d.dialNext
 }
 
 // prefixConn replays probed bytes ahead of the underlying conn's stream.
@@ -924,6 +957,14 @@ func (s *session) finish(outcome string, code uint8) {
 			info.ID = s.hdr.Session.String()
 			info.Hop = int(s.hdr.HopIndex)
 			info.RouteLen = len(s.hdr.Route)
+			// A session that died before going live (typically a failed
+			// next-hop dial) still names the hop it was bound for: the
+			// logistics hook poisons that edge's loss forecast, and
+			// without the address here a dead next hop would never be
+			// fed back into planning.
+			if next, ok := s.hdr.NextHop(); ok {
+				info.NextHop = next
+			}
 		}
 		d.sessions.record(info)
 	}

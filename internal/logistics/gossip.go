@@ -1,0 +1,281 @@
+package logistics
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"lsl/internal/route"
+)
+
+// Forecast gossip: the planner's observation export/merge surface, used
+// by internal/gossip to share edge knowledge between depots. A depot
+// only learns first-hand from sessions it relays itself; gossip lets it
+// also plan with what the rest of the fleet has measured.
+//
+// The unit of exchange is the EdgeObservation: a per-(edge, metric)
+// forecast summary with provenance — which node measured it (Origin),
+// how many depot-to-depot transfers it has undergone (Hops), and when
+// the newest underlying measurement happened (Time). Remote summaries
+// never enter the local NWS series; they live in a per-edge overlay
+// keyed by (origin, metric) with last-writer-wins timestamps, which
+// makes MergeRemote idempotent and peer-order-independent — the
+// anti-entropy requirement. The planning metrics blend the local
+// forecast with the remote overlay, remote contributions weighted down
+// by age and hop count so local measurement always dominates where it
+// exists, while an edge this node has never measured is governed by the
+// freshest remote word — including failure-poisoned loss forecasts, so
+// the whole fleet routes around a dead edge within a few rounds and
+// decays back when the origin observes successes again.
+
+// ObsMetric identifies which metric an exported observation summarizes.
+// Values match the wire encoding (wire.GossipObs.Metric).
+type ObsMetric uint8
+
+// Observation metrics.
+const (
+	ObsRTT ObsMetric = iota
+	ObsBandwidth
+	ObsLoss
+)
+
+// Gossip aging and weighting parameters.
+const (
+	// MaxGossipHops bounds how many depot-to-depot transfers an
+	// observation survives; beyond it the summary is too diluted (and too
+	// easily looped) to act on.
+	MaxGossipHops = 4
+	// MaxRemoteAge is the staleness clamp: summaries older than this are
+	// neither merged, blended, nor re-exported.
+	MaxRemoteAge = 10 * time.Minute
+	// MaxClockSkew bounds how far in the future a remote observation's
+	// timestamp may sit before it is rejected (a peer with a broken clock
+	// must not permanently win last-writer-wins merges).
+	MaxClockSkew = 30 * time.Second
+	// remoteHalfLife halves a remote summary's blend weight for every
+	// interval of age.
+	remoteHalfLife = time.Minute
+	// localObsWeight vs remoteBaseWeight fix the local:remote ratio for a
+	// fresh one-hop summary at 8:1 — remote knowledge nudges, local
+	// measurement governs.
+	localObsWeight   = 2.0
+	remoteBaseWeight = 0.5
+)
+
+// EdgeObservation is one per-(edge, metric) forecast summary with
+// provenance, the unit the gossip layer exchanges.
+type EdgeObservation struct {
+	From, To string
+	Metric   ObsMetric
+	// Value is the forecast at export time (seconds, bits/sec, or
+	// probability, by Metric).
+	Value float64
+	// Count is the observation count behind the summary at its origin.
+	Count uint32
+	// Origin is the node that measured it; Hops counts the
+	// depot-to-depot transfers since (0 = exported by the origin itself).
+	Origin string
+	Hops   uint8
+	// Time is the newest underlying observation's wall-clock time.
+	Time time.Time
+}
+
+// ExportObservations returns the planner's shareable edge knowledge:
+// one summary per locally-measured (edge, metric) pair, plus the
+// still-fresh remote summaries it holds (so knowledge propagates
+// transitively). Entries are newest-first and capped at max (<=0 means
+// no cap). Summaries older than MaxRemoteAge or at the hop ceiling are
+// withheld.
+func (p *Planner) ExportObservations(max int) []EdgeObservation {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	self := string(p.self)
+	var out []EdgeObservation
+	local := func(key edgeKey, m ObsMetric, s interface {
+		Len() int
+		Forecast() float64
+	}, t time.Time) {
+		if s.Len() == 0 || t.IsZero() || now.Sub(t) > MaxRemoteAge {
+			return
+		}
+		v := s.Forecast()
+		if !finiteObs(m, v) {
+			return
+		}
+		out = append(out, EdgeObservation{
+			From: string(key.from), To: string(key.to), Metric: m,
+			Value: v, Count: uint32(s.Len()), Origin: self, Time: t,
+		})
+	}
+	for key, es := range p.series {
+		local(key, ObsRTT, es.rtt, es.rttTime)
+		local(key, ObsBandwidth, es.bw, es.bwTime)
+		local(key, ObsLoss, es.loss, es.lossTime)
+		for rk, r := range es.remote {
+			if now.Sub(r.t) > MaxRemoteAge || r.hops >= MaxGossipHops {
+				continue
+			}
+			out = append(out, EdgeObservation{
+				From: string(key.from), To: string(key.to), Metric: rk.metric,
+				Value: r.value, Count: r.count, Origin: rk.origin, Hops: r.hops, Time: r.t,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.After(out[j].Time)
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		if out[i].To != out[j].To {
+			return out[i].To < out[j].To
+		}
+		if out[i].Origin != out[j].Origin {
+			return out[i].Origin < out[j].Origin
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// MergeRemote folds a batch of remote observations into the planner's
+// remote overlay and refreshes the planning metrics of every touched
+// edge. It returns how many entries were newly stored or updated.
+//
+// The merge is an anti-entropy join: entries are keyed by (edge, metric,
+// origin) and resolved last-writer-wins on the observation timestamp,
+// with min-hops as the deterministic tiebreak — so merging the same
+// batch twice, or two batches in either order, leaves identical state.
+// Self-originated entries (our own observations echoed back), unknown
+// edges, stale or future-dated timestamps, hop-ceiling overflows, and
+// non-finite values are all skipped.
+func (p *Planner) MergeRemote(obs []EdgeObservation) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	self := string(p.self)
+	merged := 0
+	touched := make(map[edgeKey]*edgeSeries)
+	for _, o := range obs {
+		if o.Origin == "" || o.Origin == self {
+			continue
+		}
+		hops := int(o.Hops) + 1 // one more depot-to-depot transfer landed it here
+		if hops > MaxGossipHops {
+			continue
+		}
+		key := edgeKey{route.NodeID(o.From), route.NodeID(o.To)}
+		es, ok := p.series[key]
+		if !ok {
+			// The planner never invents topology from gossip, exactly as
+			// it never invents it from local measurements.
+			continue
+		}
+		if o.Time.IsZero() || now.Sub(o.Time) > MaxRemoteAge || o.Time.After(now.Add(MaxClockSkew)) {
+			continue
+		}
+		if !finiteObs(o.Metric, o.Value) {
+			continue
+		}
+		rk := remoteKey{origin: o.Origin, metric: o.Metric}
+		if cur, exists := es.remote[rk]; exists {
+			if cur.t.After(o.Time) || (cur.t.Equal(o.Time) && int(cur.hops) <= hops) {
+				continue
+			}
+		}
+		v := o.Value
+		if o.Metric == ObsLoss {
+			v = clamp(v, 0, maxLossProb)
+		}
+		es.remote[rk] = remoteObs{value: v, count: o.Count, hops: uint8(hops), t: o.Time}
+		touched[key] = es
+		merged++
+	}
+	for key, es := range touched {
+		p.refreshEdgeLocked(key.from, key.to, es)
+	}
+	return merged
+}
+
+// RemoteObsCount reports how many gossip-learned summaries the planner
+// currently holds (tests, /plan diagnostics).
+func (p *Planner) RemoteObsCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, es := range p.series {
+		n += len(es.remote)
+	}
+	return n
+}
+
+// blendRemote combines the local planning value of one metric with the
+// edge's remote summaries. Remote weight decays by half per
+// remoteHalfLife of age and per gossip hop; entries past MaxRemoteAge
+// contribute nothing. With no usable contribution the local value (or
+// static fallback) stands.
+func blendRemote(es *edgeSeries, m ObsMetric, localVal float64, haveLocal bool, now time.Time) float64 {
+	// Gather contributors in a deterministic (origin-sorted) order:
+	// float summation is not associative, and planners that merged the
+	// same knowledge in different peer orders must still compute
+	// bit-identical forecasts (the anti-entropy property tests rely on
+	// it).
+	origins := make([]string, 0, len(es.remote))
+	for rk := range es.remote {
+		if rk.metric == m {
+			origins = append(origins, rk.origin)
+		}
+	}
+	sort.Strings(origins)
+	wsum, vsum := 0.0, 0.0
+	if haveLocal {
+		wsum = localObsWeight
+		vsum = localObsWeight * localVal
+	}
+	for _, origin := range origins {
+		r := es.remote[remoteKey{origin: origin, metric: m}]
+		age := now.Sub(r.t)
+		if age > MaxRemoteAge {
+			continue
+		}
+		if age < 0 {
+			age = 0
+		}
+		w := remoteBaseWeight *
+			exp2Neg(float64(age)/float64(remoteHalfLife)) *
+			exp2Neg(float64(r.hops)-1)
+		wsum += w
+		vsum += w * r.value
+	}
+	if wsum == 0 {
+		return localVal
+	}
+	return vsum / wsum
+}
+
+// exp2Neg returns 2^-x for x >= 0 (x < 0 is clamped to 1).
+func exp2Neg(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Exp2(-x)
+}
+
+func finiteObs(m ObsMetric, v float64) bool {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return false
+	}
+	switch m {
+	case ObsRTT, ObsBandwidth:
+		return v > 0
+	case ObsLoss:
+		return v >= 0 && v <= 1
+	default:
+		return false
+	}
+}

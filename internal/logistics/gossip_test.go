@@ -1,0 +1,343 @@
+package logistics
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"lsl/internal/route"
+)
+
+// testOverlay builds the shared planning graph every gossip test uses:
+// client -> {depA, depB} -> server, plus a direct client -> server edge.
+func testOverlay() *route.Graph {
+	g := route.NewGraph()
+	g.AddNode(route.Node{ID: "client"})
+	g.AddNode(route.Node{ID: "depA", Depot: true, Addr: "depa:1"})
+	g.AddNode(route.Node{ID: "depB", Depot: true, Addr: "depb:1"})
+	g.AddNode(route.Node{ID: "server", Addr: "server:1"})
+	fast := route.Metrics{RTTSeconds: 0.005, BandwidthBps: 100e6, LossProb: 2.5e-4}
+	slow := route.Metrics{RTTSeconds: 0.040, BandwidthBps: 50e6, LossProb: 2.5e-4}
+	g.AddDuplex("client", "depA", fast)
+	g.AddDuplex("depA", "server", fast)
+	g.AddDuplex("client", "depB", slow)
+	g.AddDuplex("depB", "server", slow)
+	g.AddDuplex("client", "server", route.Metrics{RTTSeconds: 0.050, BandwidthBps: 10e6, LossProb: 2.5e-4})
+	return g
+}
+
+func testPlanner(t *testing.T, self route.NodeID, clk *time.Time) *Planner {
+	t.Helper()
+	p, err := New(testOverlay(), self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.now = func() time.Time { return *clk }
+	return p
+}
+
+// edgeMetrics snapshots every edge's planning metrics for exact
+// comparison.
+func edgeMetrics(p *Planner) map[string]route.Metrics {
+	out := make(map[string]route.Metrics)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.graph.Edges() {
+		out[fmt.Sprintf("%s->%s", e.From, e.To)] = e.M
+	}
+	return out
+}
+
+func TestExportCarriesProvenance(t *testing.T) {
+	clk := time.Unix(1700000000, 0)
+	p := testPlanner(t, "depA", &clk)
+	p.ObserveRTT("depA", "server", 0.008)
+	clk = clk.Add(time.Second)
+	p.ObserveBandwidth("depA", "server", 90e6)
+
+	obs := p.ExportObservations(0)
+	if len(obs) != 2 {
+		t.Fatalf("exported %d observations, want 2: %+v", len(obs), obs)
+	}
+	// Newest first.
+	if obs[0].Metric != ObsBandwidth || obs[1].Metric != ObsRTT {
+		t.Fatalf("export order wrong: %+v", obs)
+	}
+	for _, o := range obs {
+		if o.Origin != "depA" || o.Hops != 0 || o.From != "depA" || o.To != "server" {
+			t.Fatalf("bad provenance: %+v", o)
+		}
+		if o.Time.IsZero() {
+			t.Fatalf("missing timestamp: %+v", o)
+		}
+	}
+	// The cap truncates to the newest entries.
+	if capped := p.ExportObservations(1); len(capped) != 1 || capped[0].Metric != ObsBandwidth {
+		t.Fatalf("cap kept %+v, want the newest entry", capped)
+	}
+}
+
+// A remote loss poison on an edge the local planner has never measured
+// governs that edge's planning metrics outright, and a newer clean
+// observation from the same origin decays it back.
+func TestMergeRemotePoisonGovernsUnmeasuredEdge(t *testing.T) {
+	clk := time.Unix(1700000000, 0)
+	pA := testPlanner(t, "depA", &clk)
+	pB := testPlanner(t, "depB", &clk)
+
+	// depA watches its edge to the server die.
+	pA.ObserveLoss("depA", "server", DeadEdgeLoss)
+	clk = clk.Add(100 * time.Millisecond)
+
+	if n := pB.MergeRemote(pA.ExportObservations(0)); n != 1 {
+		t.Fatalf("merged %d, want 1", n)
+	}
+	m := edgeMetrics(pB)["depA->server"]
+	if m.LossProb < 0.4 {
+		t.Fatalf("depA->server loss at depB = %v, want >= 0.4 (remote poison must govern)", m.LossProb)
+	}
+
+	// The origin sees recovery; a newer export decays the remote word.
+	clk = clk.Add(time.Second)
+	for i := 0; i < 6; i++ {
+		pA.ObserveLoss("depA", "server", 0)
+		clk = clk.Add(10 * time.Millisecond)
+	}
+	if n := pB.MergeRemote(pA.ExportObservations(0)); n != 1 {
+		t.Fatalf("recovery merge count %d, want 1", n)
+	}
+	if m := edgeMetrics(pB)["depA->server"]; m.LossProb > 0.2 {
+		t.Fatalf("loss stayed poisoned after remote recovery: %v", m.LossProb)
+	}
+}
+
+// Local measurement must dominate remote word on an edge both know.
+func TestMergeRemoteLocalMeasurementDominates(t *testing.T) {
+	clk := time.Unix(1700000000, 0)
+	pA := testPlanner(t, "depA", &clk)
+	pB := testPlanner(t, "depB", &clk)
+
+	// Both observe client->server bandwidth: B locally at 80 Mbit/s, A
+	// (remotely, via gossip) at 10 Mbit/s.
+	for i := 0; i < 4; i++ {
+		pB.ObserveBandwidth("client", "server", 80e6)
+		pA.ObserveBandwidth("client", "server", 10e6)
+		clk = clk.Add(10 * time.Millisecond)
+	}
+	if n := pB.MergeRemote(pA.ExportObservations(0)); n == 0 {
+		t.Fatal("nothing merged")
+	}
+	m := edgeMetrics(pB)["client->server"]
+	// local weight 2.0 vs fresh 1-hop remote 0.5 => blended well above the
+	// midpoint, close to the local value.
+	if m.BandwidthBps < 60e6 {
+		t.Fatalf("blended bandwidth %v: remote word overpowered local measurement", m.BandwidthBps)
+	}
+	if m.BandwidthBps >= 80e6 {
+		t.Fatalf("blended bandwidth %v: remote word ignored entirely", m.BandwidthBps)
+	}
+}
+
+func TestMergeRemoteRejectsGarbage(t *testing.T) {
+	clk := time.Unix(1700000000, 0)
+	p := testPlanner(t, "depB", &clk)
+	now := clk
+	cases := []struct {
+		name string
+		obs  EdgeObservation
+	}{
+		{"self origin", EdgeObservation{From: "depA", To: "server", Metric: ObsLoss, Value: 0.5, Origin: "depB", Time: now}},
+		{"unknown edge", EdgeObservation{From: "nowhere", To: "server", Metric: ObsLoss, Value: 0.5, Origin: "depA", Time: now}},
+		{"stale", EdgeObservation{From: "depA", To: "server", Metric: ObsLoss, Value: 0.5, Origin: "depA", Time: now.Add(-MaxRemoteAge - time.Second)}},
+		{"future", EdgeObservation{From: "depA", To: "server", Metric: ObsLoss, Value: 0.5, Origin: "depA", Time: now.Add(MaxClockSkew + time.Minute)}},
+		{"zero time", EdgeObservation{From: "depA", To: "server", Metric: ObsLoss, Value: 0.5, Origin: "depA"}},
+		{"hop ceiling", EdgeObservation{From: "depA", To: "server", Metric: ObsLoss, Value: 0.5, Origin: "depA", Hops: MaxGossipHops, Time: now}},
+		{"negative rtt", EdgeObservation{From: "depA", To: "server", Metric: ObsRTT, Value: -1, Origin: "depA", Time: now}},
+		{"loss above one", EdgeObservation{From: "depA", To: "server", Metric: ObsLoss, Value: 1.5, Origin: "depA", Time: now}},
+	}
+	for _, c := range cases {
+		if n := p.MergeRemote([]EdgeObservation{c.obs}); n != 0 {
+			t.Errorf("%s: merged %d, want 0", c.name, n)
+		}
+	}
+	if got := p.RemoteObsCount(); got != 0 {
+		t.Fatalf("remote overlay holds %d entries, want 0", got)
+	}
+}
+
+// randomBatch fabricates a plausible gossip batch over the test overlay
+// from several origins, with duplicated keys at different timestamps.
+func randomBatch(rng *rand.Rand, base time.Time, n int) []EdgeObservation {
+	edges := [][2]string{
+		{"client", "depA"}, {"depA", "server"},
+		{"client", "depB"}, {"depB", "server"},
+		{"client", "server"}, {"server", "depA"},
+	}
+	origins := []string{"depA", "client", "server", "utk"}
+	out := make([]EdgeObservation, 0, n)
+	for i := 0; i < n; i++ {
+		e := edges[rng.Intn(len(edges))]
+		m := ObsMetric(rng.Intn(3))
+		v := rng.Float64()
+		switch m {
+		case ObsRTT:
+			v = 0.001 + v*0.2
+		case ObsBandwidth:
+			v = 1e6 + v*1e8
+		case ObsLoss: // already in [0,1)
+		}
+		out = append(out, EdgeObservation{
+			From: e[0], To: e[1], Metric: m, Value: v,
+			Count:  uint32(rng.Intn(50) + 1),
+			Origin: origins[rng.Intn(len(origins))],
+			Hops:   uint8(rng.Intn(MaxGossipHops + 1)),
+			Time:   base.Add(-time.Duration(rng.Int63n(int64(MaxRemoteAge)))),
+		})
+	}
+	return out
+}
+
+// The anti-entropy property: merging the same remote digest twice, or
+// two digests in either peer order, yields bit-identical forecasts and
+// identical re-exports.
+func TestMergeRemoteIdempotentAndOrderIndependent(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		clk := time.Unix(1700000000, 0)
+		batchX := randomBatch(rng, clk, 40)
+		batchY := randomBatch(rng, clk, 40)
+
+		mk := func() *Planner {
+			p := testPlanner(t, "depB", &clk)
+			// Some local state too, so the blend path is exercised.
+			p.ObserveBandwidth("client", "server", 42e6)
+			p.ObserveLoss("depB", "server", 0.001)
+			return p
+		}
+
+		// Idempotence: X twice == X once.
+		once, twice := mk(), mk()
+		once.MergeRemote(batchX)
+		twice.MergeRemote(batchX)
+		twice.MergeRemote(batchX)
+		if !reflect.DeepEqual(edgeMetrics(once), edgeMetrics(twice)) {
+			t.Fatalf("seed %d: double merge changed forecasts", seed)
+		}
+		if !reflect.DeepEqual(once.ExportObservations(0), twice.ExportObservations(0)) {
+			t.Fatalf("seed %d: double merge changed exports", seed)
+		}
+
+		// Peer-order independence: X then Y == Y then X.
+		xy, yx := mk(), mk()
+		xy.MergeRemote(batchX)
+		xy.MergeRemote(batchY)
+		yx.MergeRemote(batchY)
+		yx.MergeRemote(batchX)
+		if !reflect.DeepEqual(edgeMetrics(xy), edgeMetrics(yx)) {
+			t.Fatalf("seed %d: merge order changed forecasts", seed)
+		}
+		if !reflect.DeepEqual(xy.ExportObservations(0), yx.ExportObservations(0)) {
+			t.Fatalf("seed %d: merge order changed exports", seed)
+		}
+	}
+}
+
+// Relayed knowledge propagates transitively (A -> B -> C) with the hop
+// count growing per transfer, and dies at the hop ceiling.
+func TestMergeRemoteHopPropagation(t *testing.T) {
+	clk := time.Unix(1700000000, 0)
+	planners := []*Planner{
+		testPlanner(t, "depA", &clk),
+		testPlanner(t, "depB", &clk),
+		testPlanner(t, "client", &clk),
+		testPlanner(t, "server", &clk),
+	}
+	planners[0].ObserveLoss("depA", "server", DeadEdgeLoss)
+	clk = clk.Add(10 * time.Millisecond)
+
+	// Chain: 0 -> 1 -> 2 -> 3. Hops grows 1, 2, 3.
+	for i := 1; i < len(planners); i++ {
+		if n := planners[i].MergeRemote(planners[i-1].ExportObservations(0)); n == 0 {
+			t.Fatalf("hop %d: nothing merged", i)
+		}
+		if m := edgeMetrics(planners[i])["depA->server"]; m.LossProb < 0.4 {
+			t.Fatalf("hop %d: poison did not propagate (loss %v)", i, m.LossProb)
+		}
+	}
+	// The final holder is at the ceiling; its re-export withholds it.
+	last := planners[len(planners)-1]
+	for _, o := range last.ExportObservations(0) {
+		if o.Origin == "depA" && o.Hops >= MaxGossipHops {
+			t.Fatalf("hop-ceiling entry still exported: %+v", o)
+		}
+	}
+}
+
+// The snapshot round-trip must preserve observation timestamps:
+// pre-restart observations may not look freshly measured after a
+// restore, or a rebooted depot would gossip stale knowledge as new.
+func TestSnapshotPreservesObservationTimes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "planner.json")
+
+	obsTime := time.Unix(1700000000, 0)
+	clk := obsTime
+	p := testPlanner(t, "depA", &clk)
+	p.ObserveRTT("depA", "server", 0.008)
+	p.ObserveBandwidth("depA", "server", 90e6)
+	p.ObserveLoss("depA", "server", 0.001)
+	if err := p.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart five minutes later — inside the staleness window, so the
+	// restored observations are still exportable but must carry their
+	// original measurement times.
+	clk2 := obsTime.Add(5 * time.Minute)
+	p2 := testPlanner(t, "depA", &clk2)
+	if err := p2.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	obs := p2.ExportObservations(0)
+	if len(obs) != 3 {
+		t.Fatalf("exported %d observations after restore, want 3: %+v", len(obs), obs)
+	}
+	for _, o := range obs {
+		if !o.Time.Equal(obsTime) {
+			t.Fatalf("restored observation time %v, want the original %v", o.Time, obsTime)
+		}
+	}
+}
+
+// An hour-old snapshot restores forecasts for local planning but exports
+// nothing: the knowledge is too old to gossip (the bug this guards
+// against: replaying with restore wall-clock time made it look fresh).
+func TestSnapshotStaleObservationsNotExported(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "planner.json")
+
+	obsTime := time.Unix(1700000000, 0)
+	clk := obsTime
+	p := testPlanner(t, "depA", &clk)
+	p.ObserveLoss("depA", "server", DeadEdgeLoss)
+	if err := p.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	clk2 := obsTime.Add(2 * MaxRemoteAge)
+	p2 := testPlanner(t, "depA", &clk2)
+	if err := p2.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	// The forecast itself is warm-started...
+	if m := edgeMetrics(p2)["depA->server"]; m.LossProb < 0.4 {
+		t.Fatalf("warm-started loss %v, want >= 0.4", m.LossProb)
+	}
+	// ...but it is not gossiped as current knowledge.
+	if obs := p2.ExportObservations(0); len(obs) != 0 {
+		t.Fatalf("stale restored observations exported: %+v", obs)
+	}
+}

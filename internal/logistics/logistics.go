@@ -24,6 +24,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 
 	"lsl/internal/core"
 	"lsl/internal/depot"
@@ -93,11 +94,36 @@ type edgeKey struct{ from, to route.NodeID }
 // edgeSeries is the forecast state of one directed edge: one NWS series
 // per metric, plus the static metrics the overlay declared (used until a
 // series has data, and as the fallback when a forecast is unusable).
+// Local series are annotated with the newest underlying observation's
+// wall-clock time — the freshness the gossip layer advertises — and
+// remote holds forecast summaries learned from other depots via gossip,
+// keyed by (origin, metric) with last-writer-wins timestamps so merges
+// are idempotent and order-independent.
 type edgeSeries struct {
 	base route.Metrics
 	rtt  *nws.Series
 	bw   *nws.Series
 	loss *nws.Series
+	// Newest local observation per metric (zero = never observed here).
+	rttTime  time.Time
+	bwTime   time.Time
+	lossTime time.Time
+	// Gossip-learned summaries from other depots.
+	remote map[remoteKey]remoteObs
+}
+
+// remoteKey identifies one remote contributor's summary of one metric.
+type remoteKey struct {
+	origin string
+	metric ObsMetric
+}
+
+// remoteObs is one gossip-learned forecast summary.
+type remoteObs struct {
+	value float64
+	count uint32
+	hops  uint8
+	t     time.Time
 }
 
 // Planner is the live logistics control plane. All methods are safe for
@@ -110,6 +136,9 @@ type Planner struct {
 	series map[edgeKey]*edgeSeries
 	byAddr map[string]route.NodeID
 	met    *Metrics
+	// now is the planner's clock (observation timestamps, remote-summary
+	// aging). Overridden in tests for deterministic gossip merges.
+	now func() time.Time
 }
 
 // New builds a planner over g, planning from the named local node. The
@@ -124,6 +153,7 @@ func New(g *route.Graph, self route.NodeID) (*Planner, error) {
 		self:   self,
 		series: make(map[edgeKey]*edgeSeries),
 		byAddr: make(map[string]route.NodeID),
+		now:    time.Now,
 	}
 	for _, id := range g.Nodes() {
 		n, _ := g.Node(id)
@@ -133,10 +163,11 @@ func New(g *route.Graph, self route.NodeID) (*Planner, error) {
 	}
 	for _, e := range g.Edges() {
 		p.series[edgeKey{e.From, e.To}] = &edgeSeries{
-			base: e.M,
-			rtt:  nws.NewSeries(fmt.Sprintf("%s->%s/rtt", e.From, e.To)),
-			bw:   nws.NewSeries(fmt.Sprintf("%s->%s/bandwidth", e.From, e.To)),
-			loss: nws.NewSeries(fmt.Sprintf("%s->%s/loss", e.From, e.To)),
+			base:   e.M,
+			rtt:    nws.NewSeries(fmt.Sprintf("%s->%s/rtt", e.From, e.To)),
+			bw:     nws.NewSeries(fmt.Sprintf("%s->%s/bandwidth", e.From, e.To)),
+			loss:   nws.NewSeries(fmt.Sprintf("%s->%s/loss", e.From, e.To)),
+			remote: make(map[remoteKey]remoteObs),
 		}
 	}
 	return p, nil
@@ -204,7 +235,20 @@ func (p *Planner) observeLocked(from, to route.NodeID, obs func(*edgeSeries)) {
 	if !ok {
 		return
 	}
+	rttN, bwN, lossN := es.rtt.Len(), es.bw.Len(), es.loss.Len()
 	obs(es)
+	// Stamp whichever metric streams grew, so gossip can advertise (and
+	// age) each summary by the real measurement time.
+	now := p.now()
+	if es.rtt.Len() > rttN {
+		es.rttTime = now
+	}
+	if es.bw.Len() > bwN {
+		es.bwTime = now
+	}
+	if es.loss.Len() > lossN {
+		es.lossTime = now
+	}
 	p.refreshEdgeLocked(from, to, es)
 	met := p.metricsLocked()
 	met.Observations.Inc()
@@ -213,9 +257,13 @@ func (p *Planner) observeLocked(from, to route.NodeID, obs func(*edgeSeries)) {
 
 // refreshEdgeLocked rebuilds the edge's planning metrics: each component
 // uses its forecast when the series has data and the forecast is usable,
-// and falls back to the overlay's static value otherwise.
+// and falls back to the overlay's static value otherwise. Gossip-learned
+// remote summaries are then blended in, weighted down by age and hop
+// count so local measurement always dominates — but on an edge this node
+// has never measured, fresh remote observations govern outright.
 func (p *Planner) refreshEdgeLocked(from, to route.NodeID, es *edgeSeries) {
 	m := es.base
+	now := p.now()
 	if v := es.rtt.Forecast(); es.rtt.Len() > 0 && !math.IsNaN(v) && v > 0 {
 		m.RTTSeconds = v
 	}
@@ -224,6 +272,11 @@ func (p *Planner) refreshEdgeLocked(from, to route.NodeID, es *edgeSeries) {
 	}
 	if v := es.loss.Forecast(); es.loss.Len() > 0 && !math.IsNaN(v) {
 		m.LossProb = clamp(v, 0, maxLossProb)
+	}
+	if len(es.remote) > 0 {
+		m.RTTSeconds = blendRemote(es, ObsRTT, m.RTTSeconds, es.rtt.Len() > 0, now)
+		m.BandwidthBps = blendRemote(es, ObsBandwidth, m.BandwidthBps, es.bw.Len() > 0, now)
+		m.LossProb = clamp(blendRemote(es, ObsLoss, m.LossProb, es.loss.Len() > 0, now), 0, maxLossProb)
 	}
 	// Both nodes exist by construction; SetEdge cannot fail here.
 	p.graph.SetEdge(from, to, m)
@@ -452,6 +505,16 @@ type EdgeView struct {
 	RTTPredictor  string `json:"rtt_predictor,omitempty"`
 	BWPredictor   string `json:"bandwidth_predictor,omitempty"`
 	LossPredictor string `json:"loss_predictor,omitempty"`
+	// Newest local observation per metric, unix nanoseconds (0 = never
+	// observed locally). Carried through snapshot save/load so restored
+	// forecasts keep their real measurement age — gossip must not re-share
+	// pre-restart observations as fresh.
+	RTTUpdatedUnixNano  int64 `json:"rtt_updated_unix_nano,omitempty"`
+	BWUpdatedUnixNano   int64 `json:"bandwidth_updated_unix_nano,omitempty"`
+	LossUpdatedUnixNano int64 `json:"loss_updated_unix_nano,omitempty"`
+	// RemoteObs counts gossip-learned summaries currently blended into
+	// this edge's planning metrics.
+	RemoteObs int `json:"remote_observations,omitempty"`
 }
 
 // NodeView is one graph vertex.
@@ -501,14 +564,18 @@ func (p *Planner) Snapshot() View {
 			ev.RTTObs = es.rtt.Len()
 			ev.BandwidthObs = es.bw.Len()
 			ev.LossObs = es.loss.Len()
+			ev.RemoteObs = len(es.remote)
 			if es.rtt.Len() > 0 {
 				ev.RTTPredictor = es.rtt.Selector.BestName()
+				ev.RTTUpdatedUnixNano = unixNano(es.rttTime)
 			}
 			if es.bw.Len() > 0 {
 				ev.BWPredictor = es.bw.Selector.BestName()
+				ev.BWUpdatedUnixNano = unixNano(es.bwTime)
 			}
 			if es.loss.Len() > 0 {
 				ev.LossPredictor = es.loss.Selector.BestName()
+				ev.LossUpdatedUnixNano = unixNano(es.lossTime)
 			}
 		}
 		v.Edges = append(v.Edges, ev)
@@ -560,4 +627,11 @@ func jsonSafe(v float64) float64 {
 		return 0
 	}
 	return v
+}
+
+func unixNano(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
 }

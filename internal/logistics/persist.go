@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"lsl/internal/route"
 )
@@ -63,6 +64,16 @@ func (p *Planner) SaveSnapshot(path string) error {
 // between runs); edges with no recorded observations are left untouched
 // so the overlay's static metrics keep governing them. A missing file
 // is returned as-is — callers gate on os.IsNotExist for first boot.
+//
+// Each replayed forecast keeps the snapshot's recorded observation
+// timestamp, NOT the restore wall-clock time: the planner itself is
+// happy to plan on a warm-started forecast, but the gossip layer ages
+// and exports observations by measurement time, and replaying a
+// pre-restart observation as fresh would make a rebooted depot
+// re-broadcast stale knowledge as the newest word on an edge. Snapshots
+// from before timestamps were recorded load with a zero time, which the
+// gossip export treats as too stale to share — conservative, and healed
+// by the first real post-restart measurement.
 func (p *Planner) LoadSnapshot(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -85,14 +96,26 @@ func (p *Planner) LoadSnapshot(path string) error {
 		}
 		if ev.RTTObs > 0 && ev.RTTSeconds > 0 {
 			es.rtt.Observe(ev.RTTSeconds)
+			es.rttTime = fromUnixNano(ev.RTTUpdatedUnixNano)
 		}
 		if ev.BandwidthObs > 0 && ev.BandwidthBps > 0 {
 			es.bw.Observe(ev.BandwidthBps)
+			es.bwTime = fromUnixNano(ev.BWUpdatedUnixNano)
 		}
 		if ev.LossObs > 0 {
 			es.loss.Observe(clamp(ev.LossProb, 0, maxLossProb))
+			es.lossTime = fromUnixNano(ev.LossUpdatedUnixNano)
 		}
 		p.refreshEdgeLocked(key.from, key.to, es)
 	}
 	return nil
+}
+
+// fromUnixNano maps the snapshot encoding back to a time (0 = zero time,
+// i.e. "age unknown, treat as stale").
+func fromUnixNano(n int64) time.Time {
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
 }

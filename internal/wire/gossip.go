@@ -1,0 +1,257 @@
+// Gossip framing: the on-the-wire format of the depot-to-depot forecast
+// exchange (internal/gossip).
+//
+// A gossip exchange is a short conversation between two depots' logistics
+// planners, carried over one transport connection (a fresh TCP connection
+// or a stream on an existing mux trunk — the accept side dispatches on the
+// magic "LSLG", distinct in its fourth byte from "LSL1"/"LSLA"/"LSLM").
+// Two frame kinds implement a classic anti-entropy push-pull:
+//
+//	DIGEST  the sender's per-(edge, metric, origin) observation summary
+//	        *keys* — who measured what edge, how many hops ago, and when —
+//	        without values. Small; lets the peer compute exactly the
+//	        entries the sender is missing.
+//	DELTA   full observations (key + forecast value + sample count) the
+//	        sender believes the peer lacks or holds stale.
+//
+// The dialer opens with its DIGEST; the acceptor answers with a DELTA of
+// what the dialer is behind on plus its own DIGEST; the dialer closes the
+// exchange with the reverse DELTA. Merging is idempotent (last-writer-wins
+// by observation timestamp), so duplicate deliveries are harmless.
+//
+// Like every other LSL decoder, the gossip decoder is bounded: the body
+// length is validated against MaxGossipBody before any allocation, entry
+// counts against MaxGossipEntries, and malformed input returns an error —
+// never a panic.
+
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// GossipVersion is the gossip protocol version carried in every frame.
+const GossipVersion = 1
+
+// MagicGossip opens every gossip frame.
+var MagicGossip = [4]byte{'L', 'S', 'L', 'G'}
+
+// IsGossipMagic reports whether b begins a gossip frame (first 4 bytes).
+func IsGossipMagic(b []byte) bool {
+	return len(b) >= 4 && b[0] == 'L' && b[1] == 'S' && b[2] == 'L' && b[3] == 'G'
+}
+
+// Gossip frame kinds.
+const (
+	// GossipDigest carries observation keys only (no values).
+	GossipDigest uint8 = 1
+	// GossipDelta carries full observations.
+	GossipDelta uint8 = 2
+)
+
+// Gossip framing limits.
+const (
+	// MaxGossipEntries bounds the observations in one frame.
+	MaxGossipEntries = 2048
+	// MaxGossipBody bounds one frame's body (everything after the fixed
+	// header), so a malformed length cannot over-allocate.
+	MaxGossipBody = 256 << 10
+	// MaxGossipMetric is the highest valid metric id (0 = rtt,
+	// 1 = bandwidth, 2 = loss).
+	MaxGossipMetric = 2
+	// gossipFixedLen: magic(4) version(1) kind(1) count(2) bodyLen(4).
+	gossipFixedLen = 12
+)
+
+// ErrBadGossipFrame reports a structurally invalid gossip frame.
+var ErrBadGossipFrame = errors.New("wire: invalid gossip frame")
+
+// GossipObs is one per-(edge, metric) observation summary with
+// provenance: which node measured it (Origin), how many depot-to-depot
+// transfers it has undergone (Hops), and when the newest underlying
+// measurement happened (TimeUnixNano). Value and Count travel only in
+// DELTA frames; a DIGEST carries the key and freshness alone.
+type GossipObs struct {
+	From, To string // directed edge, overlay node names
+	Origin   string // node that measured it
+	Metric   uint8  // 0 rtt, 1 bandwidth, 2 loss
+	Hops     uint8  // gossip transfers since the origin (0 = origin-local)
+	// TimeUnixNano is the newest underlying observation's wall-clock time.
+	TimeUnixNano int64
+	// Value is the forecast summary (DELTA only).
+	Value float64
+	// Count is the observation count behind the summary (DELTA only).
+	Count uint32
+}
+
+// GossipFrame is one decoded gossip frame.
+type GossipFrame struct {
+	Kind uint8
+	Self string // sender's overlay node name
+	Obs  []GossipObs
+}
+
+func validGossipName(s string) bool { return s != "" && len(s) <= MaxAddrLen }
+
+// Encode serializes the frame.
+func (f *GossipFrame) Encode() ([]byte, error) {
+	if f.Kind != GossipDigest && f.Kind != GossipDelta {
+		return nil, fmt.Errorf("%w: kind %d", ErrBadGossipFrame, f.Kind)
+	}
+	if !validGossipName(f.Self) {
+		return nil, fmt.Errorf("%w: bad self %q", ErrBadGossipFrame, f.Self)
+	}
+	if len(f.Obs) > MaxGossipEntries {
+		return nil, fmt.Errorf("%w: %d entries exceeds %d", ErrTooLarge, len(f.Obs), MaxGossipEntries)
+	}
+	var body bytes.Buffer
+	writeStr := func(s string) {
+		var u16 [2]byte
+		binary.BigEndian.PutUint16(u16[:], uint16(len(s)))
+		body.Write(u16[:])
+		body.WriteString(s)
+	}
+	writeStr(f.Self)
+	var u32 [4]byte
+	var u64 [8]byte
+	for i := range f.Obs {
+		o := &f.Obs[i]
+		if !validGossipName(o.From) || !validGossipName(o.To) || !validGossipName(o.Origin) {
+			return nil, fmt.Errorf("%w: bad entry names", ErrBadGossipFrame)
+		}
+		if o.Metric > MaxGossipMetric {
+			return nil, fmt.Errorf("%w: metric %d", ErrBadGossipFrame, o.Metric)
+		}
+		writeStr(o.From)
+		writeStr(o.To)
+		writeStr(o.Origin)
+		body.WriteByte(o.Metric)
+		body.WriteByte(o.Hops)
+		binary.BigEndian.PutUint64(u64[:], uint64(o.TimeUnixNano))
+		body.Write(u64[:])
+		if f.Kind == GossipDelta {
+			if math.IsNaN(o.Value) || math.IsInf(o.Value, 0) {
+				return nil, fmt.Errorf("%w: non-finite value", ErrBadGossipFrame)
+			}
+			binary.BigEndian.PutUint64(u64[:], math.Float64bits(o.Value))
+			body.Write(u64[:])
+			binary.BigEndian.PutUint32(u32[:], o.Count)
+			body.Write(u32[:])
+		}
+	}
+	if body.Len() > MaxGossipBody {
+		return nil, ErrTooLarge
+	}
+	out := make([]byte, gossipFixedLen, gossipFixedLen+body.Len())
+	copy(out, MagicGossip[:])
+	out[4] = GossipVersion
+	out[5] = f.Kind
+	binary.BigEndian.PutUint16(out[6:8], uint16(len(f.Obs)))
+	binary.BigEndian.PutUint32(out[8:12], uint32(body.Len()))
+	return append(out, body.Bytes()...), nil
+}
+
+// ReadGossipFrame reads and decodes one gossip frame from r. Allocation
+// is bounded by the declared body length, validated against MaxGossipBody
+// before any body allocation. A clean EOF before the first byte passes
+// through as io.EOF.
+func ReadGossipFrame(r io.Reader) (*GossipFrame, error) {
+	var fixed [gossipFixedLen]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, ErrTruncated
+		}
+		return nil, err // io.EOF passes through: clean end of exchange
+	}
+	if !IsGossipMagic(fixed[:]) {
+		return nil, ErrBadMagic
+	}
+	if fixed[4] != GossipVersion {
+		return nil, ErrBadVersion
+	}
+	f := &GossipFrame{Kind: fixed[5]}
+	if f.Kind != GossipDigest && f.Kind != GossipDelta {
+		return nil, fmt.Errorf("%w: kind %d", ErrBadGossipFrame, f.Kind)
+	}
+	count := int(binary.BigEndian.Uint16(fixed[6:8]))
+	bodyLen := int(binary.BigEndian.Uint32(fixed[8:12]))
+	if count > MaxGossipEntries || bodyLen > MaxGossipBody {
+		return nil, ErrTooLarge
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, ErrTruncated
+	}
+	readStr := func() (string, bool) {
+		if len(body) < 2 {
+			return "", false
+		}
+		n := int(binary.BigEndian.Uint16(body[:2]))
+		body = body[2:]
+		if n == 0 || n > MaxAddrLen || len(body) < n {
+			return "", false
+		}
+		s := string(body[:n])
+		body = body[n:]
+		return s, true
+	}
+	var ok bool
+	if f.Self, ok = readStr(); !ok {
+		return nil, fmt.Errorf("%w: bad self", ErrBadGossipFrame)
+	}
+	for i := 0; i < count; i++ {
+		var o GossipObs
+		if o.From, ok = readStr(); !ok {
+			return nil, fmt.Errorf("%w: bad entry edge", ErrBadGossipFrame)
+		}
+		if o.To, ok = readStr(); !ok {
+			return nil, fmt.Errorf("%w: bad entry edge", ErrBadGossipFrame)
+		}
+		if o.Origin, ok = readStr(); !ok {
+			return nil, fmt.Errorf("%w: bad entry origin", ErrBadGossipFrame)
+		}
+		if len(body) < 10 {
+			return nil, ErrTruncated
+		}
+		o.Metric = body[0]
+		o.Hops = body[1]
+		if o.Metric > MaxGossipMetric {
+			return nil, fmt.Errorf("%w: metric %d", ErrBadGossipFrame, o.Metric)
+		}
+		o.TimeUnixNano = int64(binary.BigEndian.Uint64(body[2:10]))
+		body = body[10:]
+		if f.Kind == GossipDelta {
+			if len(body) < 12 {
+				return nil, ErrTruncated
+			}
+			o.Value = math.Float64frombits(binary.BigEndian.Uint64(body[:8]))
+			o.Count = binary.BigEndian.Uint32(body[8:12])
+			body = body[12:]
+			if math.IsNaN(o.Value) || math.IsInf(o.Value, 0) {
+				return nil, fmt.Errorf("%w: non-finite value", ErrBadGossipFrame)
+			}
+		}
+		f.Obs = append(f.Obs, o)
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadGossipFrame, len(body))
+	}
+	return f, nil
+}
+
+// GossipKindString names a frame kind for diagnostics.
+func GossipKindString(k uint8) string {
+	switch k {
+	case GossipDigest:
+		return "DIGEST"
+	case GossipDelta:
+		return "DELTA"
+	default:
+		return fmt.Sprintf("kind-%d", k)
+	}
+}

@@ -3,6 +3,7 @@ package lsl
 import (
 	"io"
 
+	"lsl/internal/gossip"
 	"lsl/internal/logistics"
 	"lsl/internal/nws"
 	"lsl/internal/overlay"
@@ -101,3 +102,31 @@ func NewPlannerMetrics(reg *MetricsRegistry) *PlannerMetrics { return logistics.
 // PlannerMetricsRegistry returns the process-wide registry behind
 // planners that did not supply their own metrics.
 func PlannerMetricsRegistry() *MetricsRegistry { return logistics.DefaultRegistry() }
+
+// --- forecast gossip (internal/gossip) ---
+
+// Gossiper shares the planner's edge observations with peer depots by
+// periodic anti-entropy exchange, so every depot plans on what the whole
+// fleet has measured — including routing around an edge only one depot
+// saw die. Wire one up with NewGossiper, hand its ServeConn to
+// DepotConfig.OnGossip, and run it with Run (or drive rounds explicitly
+// with RunRound in tests).
+type Gossiper = gossip.Gossiper
+
+// GossipConfig configures a Gossiper: the planner to share, the peer
+// depot addresses to exchange with, and the round cadence.
+type GossipConfig = gossip.Config
+
+// GossipMetrics is the gossiper's counter set (lsl_gossip_*).
+type GossipMetrics = gossip.Metrics
+
+// GossipStatus is the gossiper's diagnostic view, served under "gossip"
+// in the depot's /plan JSON.
+type GossipStatus = gossip.Status
+
+// NewGossiper validates cfg and builds a Gossiper (no goroutines are
+// started; call Run).
+func NewGossiper(cfg GossipConfig) (*Gossiper, error) { return gossip.New(cfg) }
+
+// NewGossipMetrics registers the lsl_gossip_* families on reg.
+func NewGossipMetrics(reg *MetricsRegistry) *GossipMetrics { return gossip.NewMetrics(reg) }
